@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! # up-baselines — the comparator systems
+//!
+//! Every system UltraPrecise is evaluated against, implemented from
+//! scratch: the PostgreSQL-style base-10000 arbitrary-precision numeric
+//! with per-database division-scale profiles ([`soft_decimal`]), the
+//! limited-precision fixed-width engines of HEAVY.AI / MonetDB / RateupDB
+//! ([`limited`]), the fast-but-inexact DOUBLE path ([`f64col`]), the
+//! alternative "decimal point between array elements" representation the
+//! paper evaluates and discards ([`alt_repr`]), and Table II's precision
+//! registry plus whole-system cost profiles ([`registry`]).
+
+pub mod alt_repr;
+pub mod f64col;
+pub mod limited;
+pub mod registry;
+pub mod soft_decimal;
+
+pub use alt_repr::AltDecimal;
+pub use limited::{CapError, LimitedDecimal, LimitedEngine, LimitedKind};
+pub use registry::{admits, cost_for, limit_for, SystemCost, PRECISION_LIMITS};
+pub use soft_decimal::{DivProfile, SoftDecimal};

@@ -1,0 +1,167 @@
+//! Table II — the DECIMAL precision envelope of 17 database systems —
+//! plus the per-system execution-cost profiles the end-to-end harnesses
+//! use to model whole-database overheads (executor per-tuple cost, disk
+//! scan inclusion) around the arithmetic kernels implemented in this
+//! workspace.
+
+use up_num::DecimalType;
+
+/// One row of Table II.
+#[derive(Clone, Copy, Debug)]
+pub struct PrecisionLimit {
+    /// Database name.
+    pub database: &'static str,
+    /// Maximum precision (`u32::MAX` = "no limit").
+    pub max_precision: u32,
+    /// Maximum scale.
+    pub max_scale: u32,
+    /// Display string used when the vendor words it specially.
+    pub note: Option<&'static str>,
+}
+
+/// Sentinel for "no limit".
+pub const NO_LIMIT: u32 = u32::MAX;
+
+/// Table II verbatim.
+pub const PRECISION_LIMITS: &[PrecisionLimit] = &[
+    PrecisionLimit { database: "PostgreSQL", max_precision: 147_455, max_scale: 16_383, note: None },
+    PrecisionLimit { database: "YugabyteDB", max_precision: 147_455, max_scale: 16_383, note: None },
+    PrecisionLimit { database: "H2", max_precision: 100_000, max_scale: 100_000, note: None },
+    PrecisionLimit { database: "MongoDB", max_precision: 0, max_scale: 0, note: Some("double and string") },
+    PrecisionLimit { database: "PolarDB", max_precision: 1_000, max_scale: 1_000, note: None },
+    PrecisionLimit { database: "Greenplum", max_precision: NO_LIMIT, max_scale: NO_LIMIT, note: Some("no limit") },
+    PrecisionLimit { database: "CockroachDB", max_precision: NO_LIMIT, max_scale: NO_LIMIT, note: Some("no limit") },
+    PrecisionLimit { database: "Vertica", max_precision: 1_024, max_scale: 1_024, note: None },
+    PrecisionLimit { database: "SparkSQL", max_precision: 38, max_scale: 38, note: None },
+    PrecisionLimit { database: "PrestoDB", max_precision: 38, max_scale: 18, note: None },
+    PrecisionLimit { database: "SQL Server", max_precision: 38, max_scale: 38, note: None },
+    PrecisionLimit { database: "HEAVY.AI", max_precision: 18, max_scale: 18, note: None },
+    PrecisionLimit { database: "MonetDB", max_precision: 38, max_scale: 38, note: None },
+    PrecisionLimit { database: "RateupDB", max_precision: 36, max_scale: 36, note: None },
+    PrecisionLimit { database: "Hive", max_precision: 38, max_scale: 38, note: None },
+    PrecisionLimit { database: "Oracle", max_precision: 38, max_scale: 127, note: Some("scale may exceed precision") },
+    PrecisionLimit { database: "MySQL", max_precision: 65, max_scale: 30, note: None },
+    PrecisionLimit { database: "Google Spanner", max_precision: 38, max_scale: 9, note: None },
+    PrecisionLimit { database: "UltraPrecise", max_precision: NO_LIMIT, max_scale: NO_LIMIT, note: Some("this work") },
+];
+
+/// Looks a system up by name.
+pub fn limit_for(database: &str) -> Option<&'static PrecisionLimit> {
+    PRECISION_LIMITS.iter().find(|l| l.database.eq_ignore_ascii_case(database))
+}
+
+/// Whether a system admits a column of this type.
+pub fn admits(database: &str, ty: DecimalType) -> bool {
+    match limit_for(database) {
+        None => false,
+        Some(l) => {
+            if l.note == Some("double and string") {
+                return false; // MongoDB has no true DECIMAL
+            }
+            ty.precision <= l.max_precision && ty.scale <= l.max_scale
+        }
+    }
+}
+
+/// End-to-end cost profile of a comparator system: constants the figure
+/// harnesses combine with the measured arithmetic to model whole-database
+/// execution the way the paper measures it (§IV: "the execution time
+/// includes the disk I/Os except for MonetDB", GPU times include PCIe).
+///
+/// These are calibration constants, not measurements; EXPERIMENTS.md
+/// documents how they were fitted to the paper's absolute numbers at
+/// LEN = 2 and the shapes they are meant to preserve.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemCost {
+    /// Name.
+    pub name: &'static str,
+    /// Per-tuple executor overhead (ns) — tuple iteration, expression
+    /// interpreter dispatch.
+    pub per_tuple_ns: f64,
+    /// Per-arithmetic-operation interpreter overhead (ns) — function-call
+    /// dispatch, `palloc`-style allocation of intermediates.
+    pub per_op_ns: f64,
+    /// Whether measured times include a disk scan of the inputs.
+    pub includes_disk_scan: bool,
+    /// Effective sequential scan bandwidth (GB/s) when disk is included.
+    pub scan_gbps: f64,
+    /// Parallel workers the executor brings to bear on a single scan.
+    pub parallelism: f64,
+}
+
+/// Cost profiles of the evaluated systems.
+pub const SYSTEM_COSTS: &[SystemCost] = &[
+    SystemCost { name: "PostgreSQL", per_tuple_ns: 300.0, per_op_ns: 75.0, includes_disk_scan: true, scan_gbps: 2.0, parallelism: 1.0 },
+    SystemCost { name: "CockroachDB", per_tuple_ns: 450.0, per_op_ns: 110.0, includes_disk_scan: true, scan_gbps: 1.5, parallelism: 1.0 },
+    SystemCost { name: "H2", per_tuple_ns: 500.0, per_op_ns: 130.0, includes_disk_scan: true, scan_gbps: 1.5, parallelism: 1.0 },
+    SystemCost { name: "MonetDB", per_tuple_ns: 400.0, per_op_ns: 150.0, includes_disk_scan: false, scan_gbps: 8.0, parallelism: 16.0 },
+    SystemCost { name: "HEAVY.AI", per_tuple_ns: 2200.0, per_op_ns: 12.0, includes_disk_scan: true, scan_gbps: 4.0, parallelism: 32.0 },
+    SystemCost { name: "RateupDB", per_tuple_ns: 400.0, per_op_ns: 12.0, includes_disk_scan: true, scan_gbps: 4.0, parallelism: 32.0 },
+    // UltraPrecise is implemented inside RateupDB (§III-A), so it carries
+    // the same host-side engine cost; only the decimal path differs.
+    SystemCost { name: "UltraPrecise", per_tuple_ns: 400.0, per_op_ns: 0.0, includes_disk_scan: true, scan_gbps: 4.0, parallelism: 32.0 },
+];
+
+/// Looks a cost profile up by name.
+pub fn cost_for(name: &str) -> Option<&'static SystemCost> {
+    SYSTEM_COSTS.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(p: u32, s: u32) -> DecimalType {
+        DecimalType::new_unchecked(p, s)
+    }
+
+    #[test]
+    fn table2_has_all_paper_rows() {
+        for db in [
+            "PostgreSQL", "YugabyteDB", "H2", "MongoDB", "PolarDB", "Greenplum",
+            "CockroachDB", "Vertica", "SparkSQL", "PrestoDB", "SQL Server",
+            "HEAVY.AI", "MonetDB", "RateupDB", "Hive", "Oracle", "MySQL",
+            "Google Spanner",
+        ] {
+            assert!(limit_for(db).is_some(), "{db} missing from Table II");
+        }
+    }
+
+    #[test]
+    fn admission_checks_follow_the_table() {
+        // The evaluation's LEN-series result types.
+        let len2 = ty(18, 2);
+        let len4 = ty(38, 2);
+        let len8 = ty(76, 2);
+        assert!(admits("HEAVY.AI", len2));
+        assert!(!admits("HEAVY.AI", len4));
+        assert!(admits("MonetDB", len4));
+        assert!(!admits("MonetDB", len8));
+        assert!(!admits("RateupDB", len4)); // p 38 > 36
+        assert!(admits("RateupDB", ty(36, 2)));
+        assert!(admits("PostgreSQL", ty(10_000, 300)));
+        assert!(admits("CockroachDB", len8));
+        assert!(!admits("MongoDB", len2)); // no true DECIMAL
+        assert!(admits("UltraPrecise", ty(100_000, 50_000)));
+    }
+
+    #[test]
+    fn spanner_scale_cap() {
+        assert!(admits("Google Spanner", ty(38, 9)));
+        assert!(!admits("Google Spanner", ty(38, 10)));
+    }
+
+    #[test]
+    fn cost_profiles_exist_for_evaluated_systems() {
+        for s in ["PostgreSQL", "CockroachDB", "H2", "MonetDB", "HEAVY.AI", "RateupDB", "UltraPrecise"] {
+            assert!(cost_for(s).is_some(), "{s}");
+        }
+        // CPU row stores pay far more effective per-tuple cost than the
+        // massively parallel GPU systems (per-tuple / parallelism).
+        let eff = |n: &str| {
+            let c = cost_for(n).unwrap();
+            c.per_tuple_ns / c.parallelism
+        };
+        assert!(eff("PostgreSQL") > 5.0 * eff("RateupDB"));
+    }
+}

@@ -1,0 +1,711 @@
+//! A PostgreSQL-`numeric`-style CPU arbitrary-precision decimal.
+//!
+//! PostgreSQL realizes arbitrary-precision `DECIMAL` in "more than 10K
+//! lines of C" (§I) around a base-10000 digit array (`NumericVar`). This
+//! module reimplements that design — sign, base-10⁴ digit vector, a
+//! base-10⁴ exponent, and a display scale — together with the
+//! division-scale policies that distinguish the CPU databases the paper
+//! evaluates:
+//!
+//! * **PostgreSQL**: quotient scale = `max(s₁, s₂)`, raised until the
+//!   quotient keeps at least 16 significant digits (`select_div_scale`);
+//! * **H2**: "adds 20 additional digits in DECIMAL divisions" (§IV-D4) —
+//!   the reason it dodges Fig. 15's underflow but pays for it;
+//! * **CockroachDB**: a significant-digit context like its `apd` library;
+//! * **PaperRule**: UltraPrecise's own `s₁ + 4` (§III-B3), for apples-to-
+//!   apples checks against `up-num`.
+//!
+//! The arithmetic is an independent implementation (base 10⁴, not 2³²) so
+//! cross-checks between `SoftDecimal` and [`up_num::UpDecimal`] catch
+//! errors in either.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// Base of one digit group.
+const NBASE: i32 = 10_000;
+/// Decimal digits per group.
+const DEC_PER_DIGIT: u32 = 4;
+/// PostgreSQL's `NUMERIC_MIN_SIG_DIGITS`.
+const PG_MIN_SIG_DIGITS: i64 = 16;
+/// CockroachDB's default significant-digit context.
+const CRDB_SIG_DIGITS: i64 = 20;
+/// H2's extra division digits (§IV-D4).
+const H2_EXTRA_DIGITS: u32 = 20;
+
+/// Division result-scale policy of a CPU database profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivProfile {
+    /// PostgreSQL `select_div_scale`.
+    Postgres,
+    /// H2: dividend scale + 20.
+    H2,
+    /// CockroachDB: 20-significant-digit context.
+    Cockroach,
+    /// UltraPrecise's `s₁ + 4` rule (§III-B3).
+    PaperRule,
+}
+
+/// A base-10⁴ arbitrary-precision decimal.
+///
+/// Value = `sign · Σ digits[i] · 10000^(lsd_exp + i)`, digits least
+/// significant group first, truncated/padded so no leading or trailing
+/// zero groups remain. `dscale` is the display scale in decimal digits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoftDecimal {
+    sign: i8,
+    digits: Vec<i32>,
+    lsd_exp: i32,
+    dscale: u32,
+}
+
+impl SoftDecimal {
+    /// Zero with a display scale.
+    pub fn zero(dscale: u32) -> SoftDecimal {
+        SoftDecimal { sign: 0, digits: Vec::new(), lsd_exp: 0, dscale }
+    }
+
+    /// The display scale (digits after the decimal point).
+    pub fn dscale(&self) -> u32 {
+        self.dscale
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// Parses a literal like `-123.45`; the display scale is the literal's
+    /// fraction length.
+    pub fn parse(s: &str) -> Result<SoftDecimal, String> {
+        let s = s.trim();
+        let (neg, body) = match s.as_bytes().first() {
+            Some(b'-') => (true, &s[1..]),
+            Some(b'+') => (false, &s[1..]),
+            Some(_) => (false, s),
+            None => return Err("empty literal".into()),
+        };
+        let (int_part, frac_part) = body.split_once('.').unwrap_or((body, ""));
+        if (int_part.is_empty() && frac_part.is_empty())
+            || !int_part.bytes().all(|b| b.is_ascii_digit())
+            || !frac_part.bytes().all(|b| b.is_ascii_digit())
+        {
+            return Err(format!("invalid literal {s:?}"));
+        }
+        let dscale = frac_part.len() as u32;
+        // Pad the fraction to a whole number of base-10⁴ groups.
+        let pad = (DEC_PER_DIGIT - (dscale % DEC_PER_DIGIT)) % DEC_PER_DIGIT;
+        let padded = format!("{int_part}{frac_part}{}", "0".repeat(pad as usize));
+        let lsd_exp = -(((dscale + pad) / DEC_PER_DIGIT) as i32);
+        // Split from the right into 4-digit groups.
+        let bytes = padded.as_bytes();
+        let mut digits = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut end = bytes.len();
+        while end > 0 {
+            let start = end.saturating_sub(4);
+            let chunk: i32 = padded[start..end].parse().map_err(|_| "chunk")?;
+            digits.push(chunk);
+            end = start;
+        }
+        let mut v = SoftDecimal { sign: if neg { -1 } else { 1 }, digits, lsd_exp, dscale };
+        v.normalize();
+        Ok(v)
+    }
+
+    /// Builds from an `i64` at display scale 0.
+    pub fn from_i64(v: i64) -> SoftDecimal {
+        Self::parse(&v.to_string()).expect("i64 formats as a valid literal")
+    }
+
+    /// Builds from an unscaled integer + scale, the column storage form.
+    pub fn from_scaled_i128(unscaled: i128, scale: u32) -> SoftDecimal {
+        let neg = unscaled < 0;
+        let digits = unscaled.unsigned_abs().to_string();
+        let s = if digits.len() as u32 <= scale {
+            format!(
+                "{}0.{}{}",
+                if neg { "-" } else { "" },
+                "0".repeat((scale as usize).saturating_sub(digits.len())),
+                digits
+            )
+        } else {
+            let split = digits.len() - scale as usize;
+            if scale == 0 {
+                format!("{}{}", if neg { "-" } else { "" }, digits)
+            } else {
+                format!("{}{}.{}", if neg { "-" } else { "" }, &digits[..split], &digits[split..])
+            }
+        };
+        Self::parse(&s).expect("formatted literal")
+    }
+
+    fn normalize(&mut self) {
+        while let Some(&0) = self.digits.last() {
+            self.digits.pop();
+        }
+        while let Some(&0) = self.digits.first() {
+            self.digits.remove(0);
+            self.lsd_exp += 1;
+        }
+        if self.digits.is_empty() {
+            self.sign = 0;
+            self.lsd_exp = 0;
+        } else if self.sign == 0 {
+            self.sign = 1;
+        }
+    }
+
+    /// Decimal digits after the point actually stored (≥ dscale rounding
+    /// target before a round).
+    fn frac_groups(&self) -> i32 {
+        (-self.lsd_exp).max(0)
+    }
+
+    /// Compares absolute values.
+    fn cmp_abs(&self, other: &SoftDecimal) -> Ordering {
+        let msd_a = self.lsd_exp + self.digits.len() as i32;
+        let msd_b = other.lsd_exp + other.digits.len() as i32;
+        if self.digits.is_empty() || other.digits.is_empty() {
+            return self.digits.len().cmp(&other.digits.len());
+        }
+        if msd_a != msd_b {
+            return msd_a.cmp(&msd_b);
+        }
+        // Walk from the most significant group down.
+        let lo = self.lsd_exp.min(other.lsd_exp);
+        for e in (lo..msd_a).rev() {
+            let da = self.digit_at(e);
+            let db = other.digit_at(e);
+            if da != db {
+                return da.cmp(&db);
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn digit_at(&self, exp: i32) -> i32 {
+        let idx = exp - self.lsd_exp;
+        if idx < 0 || idx as usize >= self.digits.len() {
+            0
+        } else {
+            self.digits[idx as usize]
+        }
+    }
+
+    /// Signed comparison by value.
+    pub fn cmp_value(&self, other: &SoftDecimal) -> Ordering {
+        match (self.sign, other.sign) {
+            (0, 0) => Ordering::Equal,
+            (a, b) if a < b => Ordering::Less,
+            (a, b) if a > b => Ordering::Greater,
+            (-1, _) => other.cmp_abs(self),
+            _ => self.cmp_abs(other),
+        }
+    }
+
+    fn add_abs(&self, other: &SoftDecimal) -> (Vec<i32>, i32) {
+        let lo = self.lsd_exp.min(other.lsd_exp);
+        let hi = (self.lsd_exp + self.digits.len() as i32)
+            .max(other.lsd_exp + other.digits.len() as i32);
+        let mut out = Vec::with_capacity((hi - lo + 1) as usize);
+        let mut carry = 0i32;
+        for e in lo..hi {
+            let mut s = self.digit_at(e) + other.digit_at(e) + carry;
+            if s >= NBASE {
+                s -= NBASE;
+                carry = 1;
+            } else {
+                carry = 0;
+            }
+            out.push(s);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        (out, lo)
+    }
+
+    /// |self| − |other| assuming |self| ≥ |other|.
+    fn sub_abs(&self, other: &SoftDecimal) -> (Vec<i32>, i32) {
+        debug_assert!(self.cmp_abs(other) != Ordering::Less);
+        let lo = self.lsd_exp.min(other.lsd_exp);
+        let hi = self.lsd_exp + self.digits.len() as i32;
+        let mut out = Vec::with_capacity((hi - lo) as usize);
+        let mut borrow = 0i32;
+        for e in lo..hi {
+            let mut d = self.digit_at(e) - other.digit_at(e) - borrow;
+            if d < 0 {
+                d += NBASE;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d);
+        }
+        debug_assert_eq!(borrow, 0);
+        (out, lo)
+    }
+
+    /// Addition; display scale = `max(s₁, s₂)` (PostgreSQL's rule).
+    pub fn add(&self, other: &SoftDecimal) -> SoftDecimal {
+        let dscale = self.dscale.max(other.dscale);
+        let mut r = if self.sign == 0 {
+            other.clone()
+        } else if other.sign == 0 {
+            self.clone()
+        } else if self.sign == other.sign {
+            let (digits, lsd_exp) = self.add_abs(other);
+            SoftDecimal { sign: self.sign, digits, lsd_exp, dscale }
+        } else {
+            match self.cmp_abs(other) {
+                Ordering::Equal => SoftDecimal::zero(dscale),
+                Ordering::Greater => {
+                    let (digits, lsd_exp) = self.sub_abs(other);
+                    SoftDecimal { sign: self.sign, digits, lsd_exp, dscale }
+                }
+                Ordering::Less => {
+                    let (digits, lsd_exp) = other.sub_abs(self);
+                    SoftDecimal { sign: other.sign, digits, lsd_exp, dscale }
+                }
+            }
+        };
+        r.dscale = dscale;
+        r.normalize();
+        r
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &SoftDecimal) -> SoftDecimal {
+        self.add(&other.neg())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> SoftDecimal {
+        SoftDecimal { sign: -self.sign, ..self.clone() }
+    }
+
+    /// Multiplication; display scale = `s₁ + s₂`.
+    pub fn mul(&self, other: &SoftDecimal) -> SoftDecimal {
+        let dscale = self.dscale + other.dscale;
+        if self.sign == 0 || other.sign == 0 {
+            return SoftDecimal::zero(dscale);
+        }
+        let mut acc = vec![0i64; self.digits.len() + other.digits.len() + 1];
+        for (i, &a) in self.digits.iter().enumerate() {
+            for (j, &b) in other.digits.iter().enumerate() {
+                acc[i + j] += a as i64 * b as i64;
+            }
+        }
+        let mut out = Vec::with_capacity(acc.len());
+        let mut carry = 0i64;
+        for v in acc {
+            let t = v + carry;
+            out.push((t % NBASE as i64) as i32);
+            carry = t / NBASE as i64;
+        }
+        debug_assert_eq!(carry, 0);
+        let mut r = SoftDecimal {
+            sign: self.sign * other.sign,
+            digits: out,
+            lsd_exp: self.lsd_exp + other.lsd_exp,
+            dscale,
+        };
+        r.normalize();
+        r
+    }
+
+    /// Division under a profile's result-scale policy; rounds half away
+    /// from zero at the chosen scale. Errors on a zero divisor.
+    pub fn div(&self, other: &SoftDecimal, profile: DivProfile) -> Result<SoftDecimal, String> {
+        if other.sign == 0 {
+            return Err("division by zero".into());
+        }
+        let rscale = self.select_div_scale(other, profile);
+        if self.sign == 0 {
+            return Ok(SoftDecimal::zero(rscale));
+        }
+        // Compute with guard digits, then round to rscale.
+        let guard_groups = rscale.div_ceil(DEC_PER_DIGIT) as i32 + 2;
+
+        // Long division in base 10⁴ (the elementary-school method §II-B):
+        // shift the dividend left so the integer quotient carries
+        // `guard_groups` fractional groups.
+        let shift = guard_groups + other.frac_groups() - self.frac_groups();
+        let mut num: Vec<i32> = self.digits.clone();
+        let num_lsd = self.lsd_exp; // value ignored below; we work integer
+        let _ = num_lsd;
+        if shift > 0 {
+            let mut shifted = vec![0i32; shift as usize];
+            shifted.extend_from_slice(&num);
+            num = shifted;
+        } else if shift < 0 {
+            let drop = (-shift) as usize;
+            if drop >= num.len() {
+                num.clear();
+            } else {
+                num.drain(..drop);
+            }
+        }
+        let den = &other.digits;
+        let q = int_div(&num, den);
+        let mut r = SoftDecimal {
+            sign: self.sign * other.sign,
+            digits: q,
+            lsd_exp: -guard_groups + (self.lsd_exp + self.frac_groups())
+                - (other.lsd_exp + other.frac_groups()),
+            dscale: rscale,
+        };
+        r.normalize();
+        Ok(r.round_dscale(rscale))
+    }
+
+    fn select_div_scale(&self, other: &SoftDecimal, profile: DivProfile) -> u32 {
+        match profile {
+            DivProfile::PaperRule => self.dscale + 4,
+            DivProfile::H2 => self.dscale + H2_EXTRA_DIGITS,
+            DivProfile::Postgres | DivProfile::Cockroach => {
+                let min_sig = if profile == DivProfile::Postgres {
+                    PG_MIN_SIG_DIGITS
+                } else {
+                    CRDB_SIG_DIGITS
+                };
+                // Estimate the quotient weight from the operands' most
+                // significant groups (PostgreSQL's select_div_scale).
+                let w1 = self.lsd_exp + self.digits.len() as i32;
+                let w2 = other.lsd_exp + other.digits.len() as i32;
+                let qweight = (w1 - w2) as i64 * DEC_PER_DIGIT as i64;
+                let rscale = min_sig - qweight;
+                rscale
+                    .max(self.dscale.max(other.dscale) as i64)
+                    .clamp(0, 130_000) as u32
+            }
+        }
+    }
+
+    /// Rounds (half away from zero) to a display scale, in one step —
+    /// half-away rounding depends only on the most significant dropped
+    /// digit, so no double rounding across the base-10⁴ group boundary.
+    pub fn round_dscale(&self, dscale: u32) -> SoftDecimal {
+        let frac_digits = self.frac_groups() as u32 * DEC_PER_DIGIT;
+        if self.sign == 0 || frac_digits <= dscale {
+            let mut r = self.clone();
+            r.dscale = dscale;
+            return r;
+        }
+        let drop = frac_digits - dscale;
+        let drop_groups = (drop / DEC_PER_DIGIT) as usize;
+        let extra = drop % DEC_PER_DIGIT;
+        let mut r = self.clone();
+        r.dscale = dscale;
+        // Most significant dropped digit decides the half-away rounding.
+        let msd = if extra > 0 {
+            let g = r.digit_at(r.lsd_exp + drop_groups as i32);
+            (g / 10i32.pow(extra - 1)) % 10
+        } else {
+            let g = r.digit_at(r.lsd_exp + drop_groups as i32 - 1);
+            g / 1000
+        };
+        let cut = drop_groups.min(r.digits.len());
+        r.digits.drain(..cut);
+        r.lsd_exp += cut as i32;
+        if extra > 0 && !r.digits.is_empty() {
+            let m = 10i32.pow(extra);
+            r.digits[0] -= r.digits[0] % m;
+        }
+        if msd >= 5 {
+            // One ulp at the kept scale = 10^extra at the lowest group.
+            let mut carry = 10i32.pow(extra);
+            let mut i = 0;
+            while carry > 0 {
+                if i == r.digits.len() {
+                    r.digits.push(0);
+                }
+                r.digits[i] += carry;
+                carry = r.digits[i] / NBASE;
+                r.digits[i] %= NBASE;
+                i += 1;
+            }
+        }
+        r.normalize();
+        r
+    }
+
+    /// Lossy f64 view.
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0;
+        for &d in self.digits.iter().rev() {
+            v = v * NBASE as f64 + d as f64;
+        }
+        v *= (NBASE as f64).powi(self.lsd_exp);
+        if self.sign < 0 {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// Integer long division of base-10⁴ digit vectors (LSD first), quotient
+/// only — the schoolbook algorithm with a two-group estimate and
+/// correction.
+fn int_div(num: &[i32], den: &[i32]) -> Vec<i32> {
+    let n = den.len();
+    debug_assert!(n > 0);
+    if num.len() < n {
+        return Vec::new();
+    }
+    if n == 1 {
+        let d = den[0] as i64;
+        let mut q = vec![0i32; num.len()];
+        let mut rem: i64 = 0;
+        for i in (0..num.len()).rev() {
+            let cur = rem * NBASE as i64 + num[i] as i64;
+            q[i] = (cur / d) as i32;
+            rem = cur % d;
+        }
+        return q;
+    }
+    // Knuth D in base 10⁴, with the usual normalization so the divisor's
+    // top group is ≥ NBASE/2 and the two-group estimate is off by ≤ 2.
+    let factor = (NBASE as i64) / (den[n - 1] as i64 + 1);
+    let num_n = scale_digits(num, factor);
+    let den_n = scale_digits(den, factor);
+    debug_assert_eq!(den_n.len(), n, "normalization must not widen the divisor");
+    let m = num_n.len() - n;
+    let mut rem: Vec<i64> = num_n.iter().map(|&d| d as i64).collect();
+    rem.push(0);
+    let dhi = den_n[n - 1] as i64;
+    let dlo = den_n[n - 2] as i64;
+    let mut q = vec![0i32; m + 1];
+    for j in (0..=m).rev() {
+        let top = rem[j + n] * NBASE as i64 + rem[j + n - 1];
+        let mut qhat = (top / dhi).min(NBASE as i64 - 1);
+        let mut rhat = top - qhat * dhi;
+        while rhat < NBASE as i64 && qhat * dlo > rhat * NBASE as i64 + rem[j + n - 2] {
+            qhat -= 1;
+            rhat += dhi;
+        }
+        // rem[j..] -= qhat * den
+        let mut borrow: i64 = 0;
+        for (i, &d) in den_n.iter().enumerate() {
+            let t = rem[j + i] - qhat * d as i64 - borrow;
+            borrow = if t < 0 { (-t + NBASE as i64 - 1) / NBASE as i64 } else { 0 };
+            rem[j + i] = t + borrow * NBASE as i64;
+        }
+        rem[j + n] -= borrow;
+        if rem[j + n] < 0 {
+            // One too big: add the divisor back.
+            qhat -= 1;
+            let mut carry: i64 = 0;
+            for (i, &d) in den_n.iter().enumerate() {
+                let t = rem[j + i] + d as i64 + carry;
+                rem[j + i] = t % NBASE as i64;
+                carry = t / NBASE as i64;
+            }
+            rem[j + n] += carry;
+            debug_assert!(rem[j + n] >= 0);
+        }
+        q[j] = qhat as i32;
+    }
+    q
+}
+
+/// Multiplies a base-10⁴ digit vector by a small scalar (< NBASE) without
+/// changing the group count unless a carry spills.
+fn scale_digits(v: &[i32], factor: i64) -> Vec<i32> {
+    if factor <= 1 {
+        return v.to_vec();
+    }
+    let mut out = Vec::with_capacity(v.len() + 1);
+    let mut carry: i64 = 0;
+    for &d in v {
+        let t = d as i64 * factor + carry;
+        out.push((t % NBASE as i64) as i32);
+        carry = t / NBASE as i64;
+    }
+    if carry > 0 {
+        out.push(carry as i32);
+    }
+    out
+}
+
+impl fmt::Display for SoftDecimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == 0 {
+            if self.dscale == 0 {
+                return write!(f, "0");
+            }
+            return write!(f, "0.{}", "0".repeat(self.dscale as usize));
+        }
+        // Render all groups from the integer top through the fraction
+        // grid, then place the point by dscale. Only a leading *integer*
+        // group may print unpadded; fraction groups always pad to 4.
+        let mut digits = String::new();
+        let msd = self.lsd_exp + self.digits.len() as i32;
+        let hi = msd.max(0);
+        let lo = self
+            .lsd_exp
+            .min(-((self.dscale.div_ceil(DEC_PER_DIGIT)) as i32))
+            .min(0);
+        for e in (lo..hi).rev() {
+            let d = self.digit_at(e);
+            if digits.is_empty() && e >= 0 {
+                digits.push_str(&d.to_string());
+            } else {
+                digits.push_str(&format!("{d:04}"));
+            }
+        }
+        let frac_digits = (-lo).max(0) as usize * DEC_PER_DIGIT as usize;
+        // Trim or pad the fraction to dscale.
+        let int_len = digits.len().saturating_sub(frac_digits);
+        let (int_part, frac_part) = digits.split_at(int_len);
+        let int_part = int_part.trim_start_matches('0');
+        let int_part = if int_part.is_empty() { "0" } else { int_part };
+        let mut frac: String = frac_part.to_string();
+        frac.truncate(self.dscale as usize);
+        while frac.len() < self.dscale as usize {
+            frac.push('0');
+        }
+        if self.sign < 0 {
+            write!(f, "-")?;
+        }
+        if self.dscale == 0 {
+            write!(f, "{int_part}")
+        } else {
+            write!(f, "{int_part}.{frac}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sd(s: &str) -> SoftDecimal {
+        SoftDecimal::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "1.23",
+            "-0.0001",
+            "12345678.90123456",
+            "10000",
+            "0.10",
+            "99999999999999999999999999.999",
+        ] {
+            assert_eq!(sd(s).to_string(), s, "{s}");
+        }
+    }
+
+    #[test]
+    fn addition_with_alignment() {
+        assert_eq!(sd("1.23").add(&sd("0.1")).to_string(), "1.33");
+        assert_eq!(sd("0.1").add(&sd("0.2")).to_string(), "0.3");
+        assert_eq!(sd("9999.9999").add(&sd("0.0001")).to_string(), "10000.0000");
+        assert_eq!(sd("1.00").sub(&sd("2.50")).to_string(), "-1.50");
+        assert_eq!(sd("-5").add(&sd("5")).to_string(), "0");
+    }
+
+    #[test]
+    fn multiplication() {
+        assert_eq!(sd("1.5").mul(&sd("-2.05")).to_string(), "-3.075");
+        assert_eq!(sd("10000").mul(&sd("10000")).to_string(), "100000000");
+        assert_eq!(
+            sd("123456789.123").mul(&sd("987654321.987")).to_string(),
+            // 123456789123 × 987654321987 = 121932631355968601347401,
+            // with 3 + 3 = 6 fraction digits.
+            "121932631355968601.347401"
+        );
+    }
+
+    #[test]
+    fn division_profiles_set_scale() {
+        let a = sd("1.00000000"); // dscale 8
+        let b = sd("3");
+        let pg = a.div(&b, DivProfile::Postgres).unwrap();
+        // PG: quotient ~0.33 → rscale ≈ 16 + small; at least max scale 8.
+        assert!(pg.dscale() >= 16, "pg dscale {}", pg.dscale());
+        let h2 = a.div(&b, DivProfile::H2).unwrap();
+        assert_eq!(h2.dscale(), 8 + 20);
+        let paper = a.div(&b, DivProfile::PaperRule).unwrap();
+        assert_eq!(paper.dscale(), 12);
+        let crdb = a.div(&b, DivProfile::Cockroach).unwrap();
+        assert!(crdb.dscale() >= 20);
+        // All approximate 1/3.
+        for q in [&pg, &h2, &paper, &crdb] {
+            assert!((q.to_f64() - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn division_values_match_expected_digits() {
+        let q = sd("2").div(&sd("7"), DivProfile::PaperRule).unwrap();
+        assert_eq!(q.to_string(), "0.2857"); // s1+4 = 4, rounded
+        let q = sd("10").div(&sd("4"), DivProfile::PaperRule).unwrap();
+        assert_eq!(q.to_string(), "2.5000");
+        let q = sd("-10").div(&sd("4"), DivProfile::PaperRule).unwrap();
+        assert_eq!(q.to_string(), "-2.5000");
+    }
+
+    #[test]
+    fn division_large_operands() {
+        let a = sd("123456789012345678901234567890");
+        let b = sd("9876543210987654321");
+        let q = a.div(&b, DivProfile::PaperRule).unwrap();
+        // Cross-check against up-num.
+        let ta = up_num::UpDecimal::parse_literal("123456789012345678901234567890").unwrap();
+        let tb = up_num::UpDecimal::parse_literal("9876543210987654321").unwrap();
+        let want = ta.div(&tb).unwrap();
+        assert!((q.to_f64() - want.to_f64()).abs() / want.to_f64() < 1e-12);
+    }
+
+    #[test]
+    fn cross_check_against_up_num_arithmetic() {
+        // Deterministic pseudo-random cross-validation of two independent
+        // implementations.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as i64 - (1 << 30)
+        };
+        for _ in 0..200 {
+            let (x, y) = (next(), next());
+            let (sx, sy) = ((x.unsigned_abs() % 5) as u32, (y.unsigned_abs() % 5) as u32);
+            let a = SoftDecimal::from_scaled_i128(x as i128, sx);
+            let b = SoftDecimal::from_scaled_i128(y as i128, sy);
+            let ua = up_num::UpDecimal::from_scaled_i64(
+                x,
+                up_num::DecimalType::new_unchecked(19, sx),
+            )
+            .unwrap();
+            let ub = up_num::UpDecimal::from_scaled_i64(
+                y,
+                up_num::DecimalType::new_unchecked(19, sy),
+            )
+            .unwrap();
+            assert_eq!(a.add(&b).to_string(), ua.add(&ub).to_string(), "{x}e-{sx} + {y}e-{sy}");
+            assert_eq!(a.mul(&b).to_string(), ua.mul(&ub).to_string(), "{x}e-{sx} * {y}e-{sy}");
+        }
+    }
+
+    #[test]
+    fn comparison() {
+        assert_eq!(sd("1.5").cmp_value(&sd("1.50")), Ordering::Equal);
+        assert_eq!(sd("-2").cmp_value(&sd("1")), Ordering::Less);
+        assert_eq!(sd("10000").cmp_value(&sd("9999.9999")), Ordering::Greater);
+        assert_eq!(sd("-0.0001").cmp_value(&sd("-0.0002")), Ordering::Greater);
+    }
+
+    #[test]
+    fn rounding_half_away_from_zero() {
+        assert_eq!(sd("1.2350").round_dscale(2).to_string(), "1.24");
+        assert_eq!(sd("-1.2350").round_dscale(2).to_string(), "-1.24");
+        assert_eq!(sd("1.2349").round_dscale(2).to_string(), "1.23");
+        assert_eq!(sd("9.9999").round_dscale(2).to_string(), "10.00");
+    }
+}

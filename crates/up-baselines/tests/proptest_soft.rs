@@ -1,0 +1,116 @@
+//! Property tests cross-validating the base-10⁴ `SoftDecimal` (the
+//! PostgreSQL-style CPU baseline) against the base-2³² `up-num` core —
+//! two independent implementations that must agree on every exact
+//! operation, plus internal invariants of the limited-precision engines.
+
+use proptest::prelude::*;
+use up_baselines::limited::{LimitedEngine, LimitedKind};
+use up_baselines::soft_decimal::{DivProfile, SoftDecimal};
+use up_num::{BigInt, DecimalType, UpDecimal};
+
+fn soft(v: i64, s: u32) -> SoftDecimal {
+    SoftDecimal::from_scaled_i128(v as i128, s)
+}
+
+fn up(v: i64, s: u32) -> UpDecimal {
+    UpDecimal::from_scaled_i64(v, DecimalType::new_unchecked(19, s)).expect("19 digits fit")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_agrees_with_up_num(
+        a in any::<i64>(), b in any::<i64>(),
+        sa in 0u32..=6, sb in 0u32..=6,
+    ) {
+        let (a, b) = (a >> 1, b >> 1); // avoid alignment overflowing i64 display paths
+        let s = soft(a, sa).add(&soft(b, sb));
+        let u = up(a, sa).add(&up(b, sb));
+        prop_assert_eq!(s.to_string(), u.to_string());
+    }
+
+    #[test]
+    fn mul_agrees_with_up_num(
+        a in -1_000_000_000i64..=1_000_000_000,
+        b in -1_000_000_000i64..=1_000_000_000,
+        sa in 0u32..=4, sb in 0u32..=4,
+    ) {
+        let s = soft(a, sa).mul(&soft(b, sb));
+        let u = up(a, sa).mul(&up(b, sb));
+        prop_assert_eq!(s.to_string(), u.to_string());
+    }
+
+    #[test]
+    fn paper_rule_division_agrees_with_up_num(
+        a in -1_000_000_000i64..=1_000_000_000,
+        b in -1_000_000i64..=1_000_000,
+        sa in 0u32..=3, sb in 0u32..=3,
+    ) {
+        prop_assume!(b != 0);
+        let s = soft(a, sa).div(&soft(b, sb), DivProfile::PaperRule).expect("nonzero");
+        let u = up(a, sa).div(&up(b, sb)).expect("nonzero");
+        // SoftDecimal rounds at s1+4; up-num truncates — equal within one
+        // ulp of the quotient scale.
+        let diff = (s.to_f64() - u.to_f64()).abs();
+        let ulp = 10f64.powi(-((sa + 4) as i32));
+        prop_assert!(diff <= ulp * 1.001 + 1e-15, "{s} vs {u} (diff {diff})");
+    }
+
+    #[test]
+    fn comparison_agrees(a in any::<i64>(), b in any::<i64>(), sa in 0u32..=5, sb in 0u32..=5) {
+        let (a, b) = (a >> 1, b >> 1);
+        prop_assert_eq!(
+            soft(a, sa).cmp_value(&soft(b, sb)),
+            up(a, sa).cmp_value(&up(b, sb))
+        );
+    }
+
+    #[test]
+    fn rounding_agrees_with_bigint_rounding(v in any::<i64>(), s in 1u32..=8, keep in 0u32..=7) {
+        prop_assume!(keep < s);
+        let rounded = soft(v, s).round_dscale(keep);
+        let want = BigInt::from(v).div_pow10_round(s - keep);
+        let want_dec = UpDecimal::from_parts_unchecked(want, DecimalType::new_unchecked(25, keep));
+        prop_assert_eq!(rounded.to_string(), want_dec.to_string());
+    }
+
+    #[test]
+    fn h2_division_keeps_20_more_digits(
+        a in 1i64..=1_000_000, b in 2i64..=999,
+    ) {
+        let q_pg = soft(a, 0).div(&soft(b, 0), DivProfile::PaperRule).expect("nonzero");
+        let q_h2 = soft(a, 0).div(&soft(b, 0), DivProfile::H2).expect("nonzero");
+        prop_assert_eq!(q_h2.dscale(), q_pg.dscale() + 16); // 20 vs 4 extra
+        // Same value to within the coarser scale.
+        prop_assert!((q_pg.to_f64() - q_h2.to_f64()).abs() <= 10f64.powi(-4) + 1e-12);
+    }
+
+    #[test]
+    fn limited_engines_match_exact_arithmetic_when_in_range(
+        a in -99_999_999i64..=99_999_999,
+        b in -99_999_999i64..=99_999_999,
+        sa in 0u32..=3, sb in 0u32..=3,
+    ) {
+        let ty_a = DecimalType::new_unchecked(12, sa);
+        let ty_b = DecimalType::new_unchecked(12, sb);
+        let ua = UpDecimal::from_scaled_i64(a, ty_a).expect("fits");
+        let ub = UpDecimal::from_scaled_i64(b, ty_b).expect("fits");
+        for kind in [LimitedKind::HeavyAi64, LimitedKind::MonetDb128, LimitedKind::Rateup5x32] {
+            let e = LimitedEngine::new(kind);
+            let (la, lb) = (e.import(&ua).expect("in range"), e.import(&ub).expect("in range"));
+            let sum = e.add(la, lb).expect("in range");
+            prop_assert_eq!(
+                e.export(sum).cmp_value(&ua.add(&ub)),
+                std::cmp::Ordering::Equal,
+                "{:?}", kind
+            );
+            let prod = e.mul(la, lb).expect("in range");
+            prop_assert_eq!(
+                e.export(prod).cmp_value(&ua.mul(&ub)),
+                std::cmp::Ordering::Equal,
+                "{:?}", kind
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the fixed-point value layer: UltraPrecise's
+//! `UpDecimal` against the PostgreSQL-style base-10⁴ `SoftDecimal` on the
+//! same operations, plus the compact representation round trip (the
+//! §III-B expand/compact steps every kernel performs).
+
+use core::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use up_baselines::{DivProfile, SoftDecimal};
+use up_num::{decode_compact, encode_compact, DecimalType, UpDecimal};
+use up_workloads::datagen;
+
+fn pairs(p: u32, s: u32, n: usize) -> Vec<(UpDecimal, UpDecimal)> {
+    let ty = DecimalType::new_unchecked(p, s);
+    let a = datagen::random_decimal_column(n, ty, 2, true, 1);
+    let b = datagen::random_decimal_column(n, ty, 3, true, 2);
+    a.into_iter().zip(b).collect()
+}
+
+fn bench_updecimal_vs_soft(c: &mut Criterion) {
+    for (op, name) in [(0u8, "add"), (1, "mul"), (2, "div")] {
+        let mut g = c.benchmark_group(format!("decimal/{name}"));
+        for &p in &[18u32, 38, 76, 153] {
+            let data = pairs(p, p / 4, 64);
+            let soft: Vec<(SoftDecimal, SoftDecimal)> = data
+                .iter()
+                .map(|(a, b)| {
+                    (
+                        SoftDecimal::parse(&a.to_string()).expect("parses"),
+                        SoftDecimal::parse(&b.to_string()).expect("parses"),
+                    )
+                })
+                .collect();
+            g.bench_with_input(BenchmarkId::new("up_num", p), &p, |bench, _| {
+                bench.iter(|| {
+                    for (a, b) in &data {
+                        let _ = std::hint::black_box(match op {
+                            0 => a.add(b),
+                            1 => a.mul(b),
+                            _ => a.div(b).expect("nonzero divisor"),
+                        });
+                    }
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("pg_base10000", p), &p, |bench, _| {
+                bench.iter(|| {
+                    for (a, b) in &soft {
+                        let _ = std::hint::black_box(match op {
+                            0 => a.add(b),
+                            1 => a.mul(b),
+                            _ => a.div(b, DivProfile::Postgres).expect("nonzero divisor"),
+                        });
+                    }
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_compact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decimal/compact_roundtrip");
+    for &p in &[18u32, 38, 76, 153, 307] {
+        let ty = DecimalType::new_unchecked(p, 2);
+        let vals = datagen::random_decimal_column(64, ty, 2, true, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, _| {
+            bench.iter(|| {
+                for v in &vals {
+                    let bytes = encode_compact(std::hint::black_box(v), ty).expect("fits");
+                    let _ = std::hint::black_box(decode_compact(&bytes, ty));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_updecimal_vs_soft, bench_compact
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks of end-to-end SQL execution across execution
+//! profiles (functional path, small relations): projection, aggregation,
+//! and TPC-H Q1.
+
+use core::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use up_engine::{ColumnType, Database, Profile, Schema, Value};
+use up_num::DecimalType;
+use up_workloads::{datagen, tpch};
+
+fn build_db(profile: Profile, n: usize, p: u32) -> Database {
+    let ty = DecimalType::new_unchecked(p, 2);
+    let mut db = Database::new(profile);
+    db.create_table(
+        "r",
+        Schema::new(vec![
+            ("c1", ColumnType::Decimal(ty)),
+            ("c2", ColumnType::Decimal(ty)),
+        ]),
+    );
+    let a = datagen::random_decimal_column(n, ty, 2, true, 10);
+    let b = datagen::random_decimal_column(n, ty, 2, true, 11);
+    for i in 0..n {
+        db.insert("r", vec![Value::Decimal(a[i].clone()), Value::Decimal(b[i].clone())])
+            .expect("insert");
+    }
+    db
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let n = 1024;
+    let mut g = c.benchmark_group("engine/projection_c1_plus_c2");
+    g.throughput(Throughput::Elements(n as u64));
+    for profile in [Profile::UltraPrecise, Profile::PostgresLike, Profile::MonetLike] {
+        let mut db = build_db(profile, n, 30);
+        // Warm the kernel cache so the bench isolates execution.
+        db.query("SELECT c1 + c2 FROM r").expect("warm");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &profile,
+            |bench, _| bench.iter(|| db.query("SELECT c1 + c2 FROM r").expect("query")),
+        );
+    }
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let n = 2048;
+    let mut g = c.benchmark_group("engine/sum_c1");
+    g.throughput(Throughput::Elements(n as u64));
+    for profile in [Profile::UltraPrecise, Profile::PostgresLike] {
+        let mut db = build_db(profile, n, 29);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &profile,
+            |bench, _| bench.iter(|| db.query("SELECT SUM(c1) FROM r").expect("query")),
+        );
+    }
+    g.finish();
+}
+
+fn bench_tpch_q1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/tpch_q1");
+    g.sample_size(10);
+    for profile in [Profile::UltraPrecise, Profile::PostgresLike] {
+        let mut db = Database::new(profile);
+        tpch::load(
+            &mut db,
+            tpch::TpchConfig { lineitem_rows: 1000, seed: 5, extended_precision: None },
+        );
+        db.query(tpch::q1_sql()).expect("warm");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &profile,
+            |bench, _| bench.iter(|| db.query(tpch::q1_sql()).expect("query")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_projection, bench_aggregation, bench_tpch_q1
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the §III-D expression rewrites: n-ary
+//! conversion, alignment scheduling, constant folding, and the full
+//! optimize→codegen pipeline (the real cost behind the modeled NVCC
+//! latency).
+
+use core::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use up_jit::cache::{JitEngine, JitOptions};
+use up_jit::{constfold, nary::NExpr, schedule, Expr};
+use up_num::DecimalType;
+
+fn wide_sum(terms: usize) -> Expr {
+    let a_ty = DecimalType::new_unchecked(30, 1);
+    let b_ty = DecimalType::new_unchecked(17, 11);
+    let mut e = Expr::col(0, a_ty, "a").add(Expr::col(1, b_ty, "b"));
+    for i in 1..terms {
+        e = e.add(Expr::col(0, a_ty, format!("a{i}")));
+        e = e.add(Expr::lit("1.25").expect("literal"));
+    }
+    e
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jit/rewrite_passes");
+    for &terms in &[4usize, 16, 64] {
+        let e = wide_sum(terms);
+        g.bench_with_input(BenchmarkId::new("to_nary", terms), &terms, |bench, _| {
+            bench.iter(|| NExpr::from_expr(std::hint::black_box(&e)))
+        });
+        let n = NExpr::from_expr(&e);
+        g.bench_with_input(BenchmarkId::new("schedule", terms), &terms, |bench, _| {
+            bench.iter(|| schedule::schedule_alignment(std::hint::black_box(n.clone())))
+        });
+        g.bench_with_input(BenchmarkId::new("constfold", terms), &terms, |bench, _| {
+            bench.iter(|| constfold::fold_constants(std::hint::black_box(n.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jit/optimize_and_codegen");
+    for &terms in &[4usize, 16] {
+        let e = wide_sum(terms);
+        for (name, opts) in [("optimized", JitOptions::default()), ("raw", JitOptions::none())] {
+            g.bench_with_input(
+                BenchmarkId::new(name, terms),
+                &terms,
+                |bench, _| {
+                    bench.iter(|| {
+                        let mut jit = JitEngine::new(opts);
+                        std::hint::black_box(jit.compile(std::hint::black_box(&e)))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_passes, bench_full_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benchmarks of the simulated-GPU kernel path: JIT compile
+//! latency (IR build) and functional launches of generated add/mul
+//! kernels across LEN, plus the cooperative-group arithmetic.
+
+use core::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use up_gpusim::cgbn::{group_eval, GroupOp, Tpi};
+use up_gpusim::{launch, DeviceConfig, GlobalMem, LaunchConfig};
+use up_jit::cache::{Compiled, JitEngine};
+use up_jit::Expr;
+use up_num::{encode_compact, DecimalType};
+use up_workloads::datagen;
+
+fn bench_jit_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/jit_ir_build");
+    for &p in &[18u32, 76, 307] {
+        let ty = DecimalType::new_unchecked(p - 2, 2);
+        let e = Expr::col(0, ty, "a")
+            .add(Expr::col(1, ty, "b"))
+            .add(Expr::col(2, ty, "c"));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, _| {
+            bench.iter(|| {
+                let mut jit = JitEngine::with_defaults();
+                std::hint::black_box(jit.compile(std::hint::black_box(&e)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernel_launch(c: &mut Criterion) {
+    let device = DeviceConfig::tiny();
+    let n = 2048usize;
+    for (make, name) in [
+        (false, "add"),
+        (true, "mul"),
+    ] {
+        let mut g = c.benchmark_group(format!("kernels/sim_launch_{name}"));
+        g.throughput(Throughput::Elements(n as u64));
+        for &len in &[2usize, 4, 8] {
+            let p = up_num::max_precision_for_lw(len);
+            let col_p = if make { (p / 2).max(5) } else { p - 1 };
+            let ty = DecimalType::new_unchecked(col_p, 2);
+            let a = Expr::col(0, ty, "a");
+            let b = Expr::col(1, ty, "b");
+            let e = if make { a.mul(b) } else { a.add(b) };
+            let mut jit = JitEngine::with_defaults();
+            let (Compiled::Kernel(k), _) = jit.compile(&e) else { panic!("kernel") };
+            let ca = datagen::random_decimal_column(n, ty, 2, true, 1);
+            let cb = datagen::random_decimal_column(n, ty, 2, true, 2);
+            let mut buf_a = Vec::new();
+            let mut buf_b = Vec::new();
+            for i in 0..n {
+                buf_a.extend(encode_compact(&ca[i], ty).expect("fits"));
+                buf_b.extend(encode_compact(&cb[i], ty).expect("fits"));
+            }
+            g.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, _| {
+                bench.iter(|| {
+                    let mut mem = GlobalMem::new();
+                    mem.add_buffer(buf_a.clone());
+                    mem.add_buffer(buf_b.clone());
+                    mem.alloc(n * k.out_ty.lb());
+                    let cfg = LaunchConfig::for_tuples(n as u64, 128, &device);
+                    launch(&k.kernel, cfg, &device, &mut mem, &[n as u32]).expect("launch")
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_group_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/cgbn_group_eval");
+    let ty = DecimalType::new_unchecked(153, 10);
+    let a = datagen::random_decimal_column(1, ty, 2, true, 3).pop().expect("one");
+    let b = datagen::random_decimal_column(1, ty, 3, true, 4).pop().expect("one");
+    for &tpi in &[1u32, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("mul", tpi), &tpi, |bench, &tpi| {
+            bench.iter(|| {
+                group_eval(
+                    GroupOp::Mul,
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    Tpi(tpi),
+                )
+                .expect("supported")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_jit_build, bench_kernel_launch, bench_group_ops
+}
+criterion_main!(benches);

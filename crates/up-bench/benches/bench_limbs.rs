@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the limb primitives: the carry-chain
+//! addition, school-book/Karatsuba multiplication, and the five division
+//! algorithms, across the evaluation's word lengths.
+
+use core::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use up_num::{div, limbs, mul};
+
+fn limb_vec(n: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 16) as u32 | 1
+        })
+        .collect()
+}
+
+fn bench_add(c: &mut Criterion) {
+    let mut g = c.benchmark_group("limbs/add");
+    for &len in &[2usize, 4, 8, 16, 32] {
+        let a = limb_vec(len, 0xA);
+        let b = limb_vec(len, 0xB);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, _| {
+            bench.iter(|| limbs::add(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("limbs/mul_schoolbook");
+    for &len in &[2usize, 4, 8, 16, 32] {
+        let a = limb_vec(len, 0xC);
+        let b = limb_vec(len, 0xD);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, _| {
+            bench.iter(|| mul::mul_schoolbook(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    g.finish();
+
+    // The paper's observation: Karatsuba loses below its threshold.
+    let mut g = c.benchmark_group("limbs/mul_karatsuba_vs_schoolbook");
+    for &len in &[32usize, 64, 128] {
+        let a = limb_vec(len, 0xE);
+        let b = limb_vec(len, 0xF);
+        g.bench_with_input(BenchmarkId::new("schoolbook", len), &len, |bench, _| {
+            bench.iter(|| mul::mul_schoolbook(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("karatsuba", len), &len, |bench, _| {
+            bench.iter(|| mul::mul_karatsuba(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_div(c: &mut Criterion) {
+    let mut g = c.benchmark_group("limbs/div");
+    for &len in &[4usize, 8, 16, 32] {
+        let a = limb_vec(len, 0x11);
+        let b = limb_vec(len / 2, 0x22);
+        g.bench_with_input(BenchmarkId::new("knuth", len), &len, |bench, _| {
+            bench.iter(|| div::div_rem_knuth(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("binary_search", len), &len, |bench, _| {
+            bench.iter(|| {
+                div::div_rem_binary_search(std::hint::black_box(&a), std::hint::black_box(&b))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("newton", len), &len, |bench, _| {
+            bench.iter(|| div::div_rem_newton(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("goldschmidt", len), &len, |bench, _| {
+            bench.iter(|| {
+                div::div_rem_goldschmidt(std::hint::black_box(&a), std::hint::black_box(&b))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    targets = bench_add, bench_mul, bench_div
+}
+criterion_main!(benches);

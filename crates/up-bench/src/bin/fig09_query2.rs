@@ -1,0 +1,60 @@
+//! Figure 9 — Query 2: `SELECT c1+c2+c3+c4, c5+c6+c7+c8 FROM R2` — a
+//! more computation-intensive two-expression query. c1–c4 stay at
+//! DECIMAL(6,2) (the first result always fits one word); c5–c8 widen with
+//! the LEN series. Two GPU kernels are generated (§IV-A).
+//!
+//! Expected shape: UltraPrecise fastest in all cases; the GPU baselines
+//! beat MonetDB ("more advantageous in computation-intensive workloads");
+//! PostgreSQL slowest, up to ~8× behind.
+
+use up_bench::{precision_for_len, print_header, print_row, runner, HarnessOpts, LEN_SERIES};
+use up_engine::Profile;
+use up_num::DecimalType;
+
+fn main() {
+    let opts = HarnessOpts::from_args(8_000);
+    println!(
+        "Figure 9: SELECT c1+c2+c3+c4, c5+c6+c7+c8 FROM R2 — {} tuples scaled to {}\n",
+        opts.sim_tuples, opts.report_tuples
+    );
+
+    let systems = [
+        Profile::HeavyAiLike,
+        Profile::RateupLike,
+        Profile::MonetLike,
+        Profile::PostgresLike,
+        Profile::UltraPrecise,
+    ];
+    let widths = [13usize, 14, 14, 14, 14, 14];
+    print_header(&["system", "LEN=2", "LEN=4", "LEN=8", "LEN=16", "LEN=32"], &widths);
+
+    let mut rows: Vec<Vec<String>> =
+        systems.iter().map(|p| vec![p.name().to_string()]).collect();
+    for &len in &LEN_SERIES {
+        // Four-term adds widen by 3 digits; size c5–c8 for the result.
+        let result_p = precision_for_len(len);
+        let wide = DecimalType::new_unchecked(result_p - 3, 2);
+        let narrow = DecimalType::new_unchecked(6, 2);
+        let cols = [
+            ("c1", narrow), ("c2", narrow), ("c3", narrow), ("c4", narrow),
+            ("c5", wide), ("c6", wide), ("c7", wide), ("c8", wide),
+        ];
+        let outcomes = runner::sweep(
+            &systems,
+            |p| runner::decimal_db(p, "r2", &cols, opts.sim_tuples, 1, 900 + len as u64),
+            "SELECT c1 + c2 + c3 + c4, c5 + c6 + c7 + c8 FROM r2",
+            opts.scale(),
+            false,
+        );
+        for (row, o) in rows.iter_mut().zip(&outcomes) {
+            row.push(match &o.result {
+                Ok(m) => up_bench::fmt_time(m.total()),
+                Err(_) => "✗".to_string(),
+            });
+        }
+    }
+    for row in &rows {
+        print_row(row, &widths);
+    }
+    println!("\nTwo kernels per query (one per expression); the first stays at one word.");
+}

@@ -1,0 +1,59 @@
+//! Figure 11 — constant construction: the kernel for `1 + a` (a at scale
+//! 10) with the constant converted to DECIMAL at compile time and
+//! pre-aligned to scale 10 (§III-D2) versus converting/aligning it per
+//! tuple in the kernel.
+//!
+//! Expected shape: speedups of roughly 1.33×/1.25×/1.14×/1.14×/1.11× as
+//! LEN grows from 2 to 32 — the alignment multiply being amortized by the
+//! growing bulk of the wide addition.
+
+use up_bench::{fmt_time, kernels, precision_for_len, print_header, print_row, HarnessOpts, LEN_SERIES};
+use up_jit::cache::JitOptions;
+use up_jit::Expr;
+use up_num::DecimalType;
+use up_workloads::datagen;
+
+fn main() {
+    let opts = HarnessOpts::from_args(4_000);
+    println!(
+        "Figure 11: constant construction — 1 + a, kernel time at {} tuples\n",
+        opts.report_tuples
+    );
+
+    let on = JitOptions { schedule_alignment: false, fold_constants: true, prealign_constants: true };
+    let off = JitOptions::none();
+
+    let widths = [7usize, 14, 14, 9, 13, 13];
+    print_header(
+        &["LEN", "runtime-conv", "compile-time", "speedup", "insts/warp", "insts/warp*"],
+        &widths,
+    );
+    for &len in &LEN_SERIES {
+        let result_p = precision_for_len(len);
+        let a_ty = DecimalType::new_unchecked(result_p.saturating_sub(12).max(12), 10);
+        let e = Expr::lit("1").unwrap().add(Expr::col(0, a_ty, "a"));
+        let cols = vec![datagen::random_decimal_column(opts.sim_tuples, a_ty, 3, true, len as u64)];
+        let run_off = kernels::run_expr(&e, &cols, off, opts.report_tuples).expect("kernel");
+        let run_on = kernels::run_expr(&e, &cols, on, opts.report_tuples).expect("kernel");
+        print_row(
+            &[
+                format!("{len}"),
+                fmt_time(run_off.time.total_s),
+                fmt_time(run_on.time.total_s),
+                format!("{:.2}×", run_off.time.total_s / run_on.time.total_s),
+                format!("{}", run_off.stats.warp_issues / run_off.stats.warps.max(1)),
+                format!("{}", run_on.stats.warp_issues / run_on.stats.warps.max(1)),
+            ],
+            &widths,
+        );
+    }
+    println!("
+(insts/warp = dynamic warp issues without the optimization; * = with.)");
+    println!("Deviation note: in our roofline this kernel stays DRAM-bound at every");
+    println!("LEN, so the instruction savings (columns 5 vs 6) do not move total time;");
+    println!("the paper's 1.11–1.33× implies its kernels were issue-bound. See");
+    println!("EXPERIMENTS.md for the discussion.");
+    println!("\nWith the optimization the constant is a pre-aligned immediate: the");
+    println!("kernel performs a same-scale addition with no per-tuple ×10¹⁰ multiply.");
+    println!("Paper reference: 1.33×, 1.25×, 1.14×, 1.14×, 1.11× for LEN 2…32.");
+}

@@ -1,0 +1,65 @@
+//! Figure 14(a) — Query 3: `SELECT SUM(c1) FROM R3` with (p, s) ∈
+//! {(11,7), (29,11), (65,31), (137,51), (281,101)} so the aggregation
+//! results occupy 2/4/8/16/32 words; TPI = 8 for the multi-threaded
+//! aggregation (§IV-C2).
+//!
+//! Expected shape: MonetDB fastest at LEN ≤ 4 (no disk I/O); HEAVY.AI
+//! completes only LEN 2 and is the slowest there; UltraPrecise beats
+//! RateupDB by ~33%/12% at LEN 2/4; PostgreSQL needs ~112%/67%/29% more
+//! time at LEN 8/16/32.
+
+use up_bench::{print_header, print_row, runner, HarnessOpts};
+use up_engine::Profile;
+use up_num::DecimalType;
+
+fn main() {
+    let opts = HarnessOpts::from_args(8_000);
+    println!(
+        "Figure 14(a): SELECT SUM(c1) FROM R3 — {} tuples scaled to {} (TPI = 8)\n",
+        opts.sim_tuples, opts.report_tuples
+    );
+
+    let systems = [
+        Profile::HeavyAiLike,
+        Profile::RateupLike,
+        Profile::MonetLike,
+        Profile::PostgresLike,
+        Profile::UltraPrecise,
+    ];
+    // The paper's (p, s) pairs; with 10M tuples SUM adds 7 digits, giving
+    // 18/36/72/144/288 → LEN 2/4/8/16/32.
+    let series: [(u32, u32); 5] = [(11, 7), (29, 11), (65, 31), (137, 51), (281, 101)];
+
+    let widths = [13usize, 14, 14, 14, 14, 14];
+    print_header(
+        &["system", "(11,7)→L2", "(29,11)→L4", "(65,31)→L8", "(137,51)→L16", "(281,101)→L32"],
+        &widths,
+    );
+    let mut rows: Vec<Vec<String>> =
+        systems.iter().map(|p| vec![p.name().to_string()]).collect();
+    for (p, s) in series {
+        let ty = DecimalType::new_unchecked(p, s);
+        let cols = [("c1", ty)];
+        let outcomes = runner::sweep(
+            &systems,
+            |prof| runner::decimal_db(prof, "r3", &cols, opts.sim_tuples, 2, p as u64),
+            "SELECT SUM(c1) FROM r3",
+            opts.scale(),
+            false,
+        );
+        for (row, o) in rows.iter_mut().zip(&outcomes) {
+            row.push(match &o.result {
+                Ok(m) => up_bench::fmt_time(m.total()),
+                Err(_) => "✗".to_string(),
+            });
+        }
+    }
+    for row in &rows {
+        print_row(row, &widths);
+    }
+    println!(
+        "\nThe SUM result type widens by ceil(log₁₀ N) digits (§III-B3), which is \
+         what pushes HEAVY.AI out beyond LEN 2 and MonetDB/RateupDB beyond LEN 4. \
+         UltraPrecise aggregates in §III-E2 multi-pass rounds with nt = ⌊S/(Ng(4Lw+1))⌋."
+    );
+}

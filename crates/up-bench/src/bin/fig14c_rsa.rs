@@ -1,0 +1,63 @@
+//! Figure 14(c) — RSA encryption in SQL (Query 4): `SELECT c1 * c1 % N *
+//! c1 % N FROM R4` with message precisions 17/35/71/143 (modulus LEN
+//! 4/8/16/32). Scan time is **included** for all systems (§IV-D3).
+//!
+//! Expected shape: UltraPrecise flattest across LEN (574 ms → 1019 ms in
+//! the paper); MonetDB/RateupDB complete only LEN 4; HEAVY.AI fails
+//! outright (no decimal modulo); PostgreSQL falls behind by 22× at LEN 4
+//! up to 248× at LEN 32, with H2 and CockroachDB behind PostgreSQL.
+
+use up_bench::{print_header, print_row, HarnessOpts};
+use up_engine::{ColumnType, Database, Profile, Schema, Value};
+use up_workloads::rsa;
+
+fn main() {
+    let opts = HarnessOpts::from_args(2_000);
+    println!(
+        "Figure 14(c): Query 4 (RSA, e = 3) — {} messages scaled to {}\n",
+        opts.sim_tuples, opts.report_tuples
+    );
+
+    let systems = [
+        Profile::HeavyAiLike,
+        Profile::RateupLike,
+        Profile::MonetLike,
+        Profile::PostgresLike,
+        Profile::H2Like,
+        Profile::CockroachLike,
+        Profile::UltraPrecise,
+    ];
+
+    let widths = [13usize, 14, 14, 14, 14];
+    print_header(&["system", "LEN=4 (p17)", "LEN=8 (p35)", "LEN=16 (p71)", "LEN=32 (p143)"], &widths);
+    let mut rows: Vec<Vec<String>> =
+        systems.iter().map(|p| vec![p.name().to_string()]).collect();
+
+    for &mp in &rsa::MESSAGE_PRECISIONS {
+        let w = rsa::build(mp, opts.sim_tuples, 0xF14C + mp as u64);
+        let sql = rsa::query4_sql(&w.key.n);
+        for (row, &sys) in rows.iter_mut().zip(&systems) {
+            let mut db = Database::new(sys);
+            db.create_table("r4", Schema::new(vec![("c1", ColumnType::Decimal(w.msg_ty))]));
+            for m in &w.messages {
+                db.insert("r4", vec![Value::Decimal(m.clone())]).unwrap();
+            }
+            row.push(match db.query(&sql) {
+                Ok(r) => {
+                    let m = up_bench::scale_modeled(&r.modeled, opts.scale());
+                    up_bench::fmt_time(m.total())
+                }
+                Err(_) => "✗".to_string(),
+            });
+        }
+    }
+    for row in &rows {
+        print_row(row, &widths);
+    }
+    println!(
+        "\n✗ for HEAVY.AI everywhere — it \"does not support the modulo operator of \
+         the decimal type\" (§IV-D3); MonetDB/RateupDB overflow their word widths past \
+         LEN 4 (c1² needs 2× the message precision). Keys are genuine Miller–Rabin \
+         semiprimes; ciphertexts are verified against X³ mod N in the test suite."
+    );
+}

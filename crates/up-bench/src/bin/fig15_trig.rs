@@ -1,0 +1,101 @@
+//! Figure 15 — sin(x + ε) via SQL Taylor polynomials of 2..11 terms over
+//! DECIMAL(9,8) radians near 0.01, 0.78 (π/4), and 1.56 (π/2); execution
+//! time against mean absolute error, per system (§IV-D4).
+//!
+//! Expected shape: UltraPrecise sits two orders of magnitude below the
+//! CPU systems in time and scales mildly with polynomial length, while
+//! PostgreSQL/H2/CockroachDB grow by hundreds of seconds; H2's +20-digit
+//! divisions buy it the lowest error floor at extra cost.
+
+use up_bench::{fmt_time, print_header, print_row, HarnessOpts};
+use up_engine::{ColumnType, Database, Profile, Schema, Value};
+use up_num::UpDecimal;
+use up_workloads::{datagen, trig};
+
+fn main() {
+    let opts = HarnessOpts::from_args(600);
+    println!(
+        "Figure 15: sin(x+ε) Taylor polynomials — {} rows scaled to {}\n",
+        opts.sim_tuples, opts.report_tuples
+    );
+
+    let systems = [
+        Profile::PostgresLike,
+        Profile::H2Like,
+        Profile::CockroachLike,
+        Profile::UltraPrecise,
+    ];
+    let ty = trig::radian_type();
+
+    for regime in trig::Regime::ALL {
+        println!(
+            "input x ~ N({}, 0.01²)  — column {}",
+            regime.mean(),
+            regime.column()
+        );
+        let radians = datagen::normal_radian_column(
+            opts.sim_tuples,
+            ty,
+            regime.mean(),
+            0.01,
+            1500 + regime.mean() as u64,
+        );
+        let truth: Vec<UpDecimal> =
+            radians.iter().map(|x| trig::sin_ground_truth(x, 320)).collect();
+
+        let widths = [7usize, 16, 12, 16, 12, 16, 12, 16, 12];
+        print_header(
+            &[
+                "terms", "PG MAE", "PG t", "H2 MAE", "H2 t", "CRDB MAE", "CRDB t", "UP MAE",
+                "UP t",
+            ],
+            &widths,
+        );
+        for terms in [2u32, 3, 5, 7, 9, 11] {
+            let sql = trig::taylor_sql(regime.column(), terms);
+            let mut cells = vec![format!("{terms}")];
+            for &sys in &systems {
+                let mut db = Database::new(sys);
+                db.create_table(
+                    "r5",
+                    Schema::new(vec![(regime.column(), ColumnType::Decimal(ty))]),
+                );
+                for x in &radians {
+                    db.insert("r5", vec![Value::Decimal(x.clone())]).unwrap();
+                }
+                match db.query(&sql) {
+                    Ok(r) => {
+                        let approx: Vec<UpDecimal> = r
+                            .rows
+                            .iter()
+                            .map(|row| match &row[0] {
+                                Value::Decimal(d) => d.clone(),
+                                other => panic!("{other:?}"),
+                            })
+                            .collect();
+                        let mae = trig::mean_absolute_error(&approx, &truth);
+                        let m = up_bench::scale_modeled(&r.modeled, opts.scale());
+                        cells.push(format!("{mae:.2e}"));
+                        cells.push(fmt_time(m.total()));
+                    }
+                    Err(e) => {
+                        cells.push("✗".to_string());
+                        cells.push(format!("{e}").chars().take(10).collect());
+                    }
+                }
+            }
+            print_row(&cells, &widths);
+        }
+        println!();
+    }
+    println!(
+        "Ground truth: the same series in exact integer arithmetic at 320 fractional \
+         digits (the paper verifies against GMP to 287 digits). Shapes to check: \
+         the CPU systems' time explodes with polynomial length while UltraPrecise \
+         grows by milliseconds (the paper's two orders of magnitude); for x ≈ 0.01 \
+         every system except H2 saturates after 4–5 terms — the division-scale \
+         rules underflow the tiny terms ('only 4 digits can hardly protect the \
+         division from underflow', §IV-D4) — while H2's +20-digit divisions keep \
+         improving at extra cost."
+    );
+}

@@ -1,0 +1,65 @@
+//! §IV-A profiling study — the Nsight Compute numbers: SM utilization
+//! and warp occupancy of the `a + b` and `a × b` kernels at LEN 8 vs 32.
+//!
+//! Expected shape (paper): additions at LEN 8 run at 100% occupancy but
+//! only 4.14% SM utilization (memory-bound); at LEN 32 occupancy falls to
+//! 50% and utilization to 2.31%. Multiplications go from 100%/3.70% to
+//! 33%/3.23%.
+
+use up_bench::{kernels, precision_for_len, print_header, print_row, HarnessOpts};
+use up_gpusim::profiler::KernelProfile;
+use up_jit::cache::JitOptions;
+use up_jit::Expr;
+use up_num::DecimalType;
+use up_workloads::datagen;
+
+fn main() {
+    let opts = HarnessOpts::from_args(4_000);
+    println!("§IV-A kernel profile (Nsight-style) at {} tuples\n", opts.report_tuples);
+
+    let widths = [10usize, 6, 11, 10, 9, 12];
+    print_header(&["kernel", "LEN", "occupancy", "SM util", "regs", "DRAM MB"], &widths);
+    for (op, label) in [(false, "a + b"), (true, "a × b")] {
+        for len in [2usize, 4, 8, 16, 32] {
+            let result_p = precision_for_len(len);
+            let col_p = if op { (result_p / 2).max(5) } else { result_p - 1 };
+            let ty = DecimalType::new_unchecked(col_p, 2);
+            let a = Expr::col(0, ty, "a");
+            let b = Expr::col(1, ty, "b");
+            let e = if op { a.mul(b) } else { a.add(b) };
+            let cols = vec![
+                datagen::random_decimal_column(opts.sim_tuples, ty, 2, true, 50 + len as u64),
+                datagen::random_decimal_column(opts.sim_tuples, ty, 2, true, 60 + len as u64),
+            ];
+            let run =
+                kernels::run_expr(&e, &cols, JitOptions::none(), opts.report_tuples).expect("kernel");
+            let profile = KernelProfile {
+                name: format!("{label} LEN{len}"),
+                occupancy: run.time.occupancy,
+                sm_utilization: run.time.sm_utilization,
+                warp_issues: run.stats.warp_issues,
+                mem_transactions: run.stats.mem_transactions,
+                dram_bytes: run.stats.dram_bytes,
+                divergent_branches: run.stats.divergent_branches,
+                regs_per_thread: run.hw_regs,
+            };
+            print_row(
+                &[
+                    label.to_string(),
+                    format!("{len}"),
+                    format!("{:.0}%", profile.occupancy * 100.0),
+                    format!("{:.2}%", profile.sm_utilization * 100.0),
+                    format!("{}", profile.regs_per_thread),
+                    format!("{:.1}", profile.dram_bytes as f64 / 1e6),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!(
+        "\nReading: simple decimal arithmetic is memory-bound — occupancy is high \
+         but the compute pipes idle (the paper's 4.14%/2.31% story), and register \
+         pressure halves occupancy at LEN 32. This is why the compact representation \
+         pays: fewer bytes moved is time saved."
+    );
+}

@@ -1,0 +1,85 @@
+//! Table I — TPC-H Q2–Q22 on RateupDB vs UltraPrecise (§IV-D2): queries
+//! without high-precision DECIMAL should perform comparably; Q18 and Q20
+//! regress on UltraPrecise because subquery results are delivered to the
+//! outer query in non-JIT decimal form ("our efficient representation
+//! cannot be applied").
+//!
+//! Methodology notes (as the paper's): kernels are warm (each query runs
+//! twice; the cached run is reported); the two-phase queries add the
+//! host-side decimal-delivery penalty to UltraPrecise only.
+
+use up_bench::{print_header, print_row, scale_modeled, HarnessOpts};
+use up_engine::{Database, Profile};
+use up_workloads::tpch;
+
+/// Host-side delivery cost of non-JIT subquery decimals (fixed handoff
+/// plus per-row conversion), calibrated to the paper's Q18 (+243 ms) and
+/// Q20 (+109 ms) regressions.
+fn delivery_penalty_s(rows: usize) -> f64 {
+    0.12 + rows as f64 * 1.0e-3
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args(4_000);
+    println!(
+        "Table I: TPC-H Q2–Q22, RateupDB vs UltraPrecise — lineitem {} rows scaled to {}\n",
+        opts.sim_tuples, opts.report_tuples
+    );
+
+    let cfg = tpch::TpchConfig {
+        lineitem_rows: opts.sim_tuples,
+        seed: 2024,
+        extended_precision: None,
+    };
+    let mut rateup = Database::new(Profile::RateupLike);
+    tpch::load(&mut rateup, cfg);
+    let mut ultra = Database::new(Profile::UltraPrecise);
+    tpch::load(&mut ultra, cfg);
+
+    let widths = [5usize, 13, 13, 8, 30];
+    print_header(&["Q", "RateupDB", "UltraPrecise", "ratio", "note"], &widths);
+    for q in tpch::table1_queries() {
+        let run = |db: &mut Database| -> Result<(f64, usize), String> {
+            db.query(&q.sql).map_err(|e| e.to_string())?; // warm the cache
+            let r = db.query(&q.sql).map_err(|e| e.to_string())?;
+            let m = scale_modeled(&r.modeled, opts.scale());
+            Ok((m.total(), r.rows.len()))
+        };
+        let t_rate = run(&mut rateup);
+        let t_ultra = run(&mut ultra).map(|(t, rows)| {
+            if q.two_phase {
+                (t + delivery_penalty_s(rows), rows)
+            } else {
+                (t, rows)
+            }
+        });
+        let cells = match (&t_rate, &t_ultra) {
+            (Ok((a, _)), Ok((b, _))) => vec![
+                format!("Q{}", q.id),
+                up_bench::fmt_time(*a),
+                up_bench::fmt_time(*b),
+                format!("{:.2}", b / a),
+                short(q.note, 30),
+            ],
+            (a, b) => vec![
+                format!("Q{}", q.id),
+                a.as_ref().map(|(t, _)| up_bench::fmt_time(*t)).unwrap_or_else(|e| short(e, 13)),
+                b.as_ref().map(|(t, _)| up_bench::fmt_time(*t)).unwrap_or_else(|e| short(e, 13)),
+                "-".to_string(),
+                short(q.note, 30),
+            ],
+        };
+        print_row(&cells, &widths);
+    }
+    println!(
+        "\nShape to check: ratios ≈ 1.0 everywhere except Q18/Q20, where the \
+         two-phase decimal delivery penalizes UltraPrecise (the paper measures \
+         447→690 ms and 367→476 ms). Query texts carry documented simplifications \
+         (see up-workloads::tpch and DESIGN.md)."
+    );
+}
+
+fn short(s: &str, n: usize) -> String {
+    let t: String = s.chars().take(n).collect();
+    t
+}

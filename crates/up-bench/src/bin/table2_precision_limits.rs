@@ -1,0 +1,56 @@
+//! Table II — the DECIMAL precision envelope of the surveyed databases,
+//! plus live capability probes showing where each evaluated profile
+//! actually stops in this reproduction.
+
+use up_baselines::registry::{PRECISION_LIMITS, NO_LIMIT};
+use up_bench::print_header;
+use up_engine::{ColumnType, Database, Profile, Schema, Value};
+use up_num::{DecimalType, UpDecimal};
+
+fn main() {
+    println!("Table II: maximum DECIMAL (p, s) per database\n");
+    let widths = [16usize, 24, 28];
+    print_header(&["database", "max (p, s)", "note"], &widths);
+    for l in PRECISION_LIMITS {
+        let ps = if l.note == Some("double and string") {
+            "—".to_string()
+        } else if l.max_precision == NO_LIMIT {
+            "no limit".to_string()
+        } else {
+            format!("({}, {})", l.max_precision, l.max_scale)
+        };
+        println!(
+            "{:>16}  {:>24}  {:>28}",
+            l.database,
+            ps,
+            l.note.unwrap_or("")
+        );
+    }
+
+    println!("\nLive capability probes (3-term addition at the declared precision):");
+    let probes = [
+        Profile::HeavyAiLike,
+        Profile::RateupLike,
+        Profile::MonetLike,
+        Profile::PostgresLike,
+        Profile::UltraPrecise,
+    ];
+    for profile in probes {
+        let mut highest_ok = 0u32;
+        for p in [9u32, 16, 18, 34, 36, 38, 76, 153, 307, 1000] {
+            let ty = DecimalType::new_unchecked(p, 2);
+            let mut db = Database::new(profile);
+            db.create_table("t", Schema::new(vec![("c", ColumnType::Decimal(ty))]));
+            let v = UpDecimal::from_scaled_i64(12_345, ty).expect("small value fits");
+            db.insert("t", vec![Value::Decimal(v)]).unwrap();
+            if db.query("SELECT c + c + c FROM t").is_ok() {
+                highest_ok = p;
+            }
+        }
+        println!(
+            "  {:<13} completes the probe up to column precision {}",
+            profile.name(),
+            if highest_ok >= 1000 { "≥1000 (unbounded)".to_string() } else { highest_ok.to_string() }
+        );
+    }
+}

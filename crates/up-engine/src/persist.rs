@@ -1,0 +1,267 @@
+//! Table persistence: a compact binary on-disk format.
+//!
+//! The evaluation includes disk I/O for the on-disk systems (§IV), and
+//! the compact byte-aligned decimal representation exists precisely
+//! because "the fixed-point decimals are stored in more compact
+//! byte-aligned arrays before being read to the processors" (§III-B) —
+//! on disk as well as in memory. This module serializes tables with
+//! decimal columns stored exactly in that compact form, so a saved table
+//! is byte-for-byte the buffer a kernel would consume.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic "UPTB" | version u32 | name len+bytes | column count u32 | rows u64
+//! per column: name len+bytes | tag u8 | (decimal: p u32, s u32) | payload
+//!   payload decimal: raw compact bytes (rows · Lb)
+//!   payload i64/f64: raw 8-byte values
+//!   payload str: per value len u32 + bytes
+//! ```
+
+use crate::storage::{ColumnData, ColumnDef, ColumnType, Schema, Table};
+use std::io::{self, Read, Write};
+use up_num::DecimalType;
+
+const MAGIC: &[u8; 4] = b"UPTB";
+const VERSION: u32 = 1;
+
+/// Serialization failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O.
+    Io(io::Error),
+    /// Structural problem in the input bytes.
+    Corrupt(String),
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl core::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt table file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn put_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn get_str(r: &mut impl Read) -> Result<String, PersistError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 1 << 24 {
+        return Err(PersistError::Corrupt("string length too large".into()));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| PersistError::Corrupt("non-UTF-8 string".into()))
+}
+
+/// Writes a table.
+pub fn save(table: &Table, w: &mut impl Write) -> Result<(), PersistError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    put_str(w, &table.name)?;
+    w.write_all(&(table.columns.len() as u32).to_le_bytes())?;
+    w.write_all(&(table.rows as u64).to_le_bytes())?;
+    for (def, col) in table.schema.columns.iter().zip(&table.columns) {
+        put_str(w, &def.name)?;
+        match col {
+            ColumnData::Decimal { ty, bytes } => {
+                w.write_all(&[0u8])?;
+                w.write_all(&ty.precision.to_le_bytes())?;
+                w.write_all(&ty.scale.to_le_bytes())?;
+                w.write_all(bytes)?;
+            }
+            ColumnData::Int64(v) => {
+                w.write_all(&[1u8])?;
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            ColumnData::Float64(v) => {
+                w.write_all(&[2u8])?;
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            ColumnData::Str(v) => {
+                w.write_all(&[3u8])?;
+                for s in v {
+                    put_str(w, s)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a table back.
+pub fn load(r: &mut impl Read) -> Result<Table, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Corrupt("bad magic".into()));
+    }
+    let mut v4 = [0u8; 4];
+    r.read_exact(&mut v4)?;
+    let version = u32::from_le_bytes(v4);
+    if version != VERSION {
+        return Err(PersistError::Corrupt(format!("unsupported version {version}")));
+    }
+    let name = get_str(r)?;
+    r.read_exact(&mut v4)?;
+    let n_cols = u32::from_le_bytes(v4) as usize;
+    let mut v8 = [0u8; 8];
+    r.read_exact(&mut v8)?;
+    let rows = u64::from_le_bytes(v8) as usize;
+    if n_cols > 4096 {
+        return Err(PersistError::Corrupt("implausible column count".into()));
+    }
+
+    let mut defs = Vec::with_capacity(n_cols);
+    let mut cols = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let col_name = get_str(r)?;
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        match tag[0] {
+            0 => {
+                r.read_exact(&mut v4)?;
+                let p = u32::from_le_bytes(v4);
+                r.read_exact(&mut v4)?;
+                let s = u32::from_le_bytes(v4);
+                let ty = DecimalType::new(p, s)
+                    .map_err(|e| PersistError::Corrupt(format!("bad type: {e}")))?;
+                let mut bytes = vec![0u8; rows * ty.lb()];
+                r.read_exact(&mut bytes)?;
+                defs.push(ColumnDef { name: col_name, ty: ColumnType::Decimal(ty) });
+                cols.push(ColumnData::Decimal { ty, bytes });
+            }
+            1 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    r.read_exact(&mut v8)?;
+                    v.push(i64::from_le_bytes(v8));
+                }
+                defs.push(ColumnDef { name: col_name, ty: ColumnType::Int64 });
+                cols.push(ColumnData::Int64(v));
+            }
+            2 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    r.read_exact(&mut v8)?;
+                    v.push(f64::from_le_bytes(v8));
+                }
+                defs.push(ColumnDef { name: col_name, ty: ColumnType::Float64 });
+                cols.push(ColumnData::Float64(v));
+            }
+            3 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(get_str(r)?);
+                }
+                defs.push(ColumnDef { name: col_name, ty: ColumnType::Str });
+                cols.push(ColumnData::Str(v));
+            }
+            t => return Err(PersistError::Corrupt(format!("unknown column tag {t}"))),
+        }
+    }
+    Ok(Table { name, schema: Schema { columns: defs }, columns: cols, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::Value;
+    use up_num::UpDecimal;
+
+    fn sample_table() -> Table {
+        let ty = DecimalType::new_unchecked(20, 4);
+        let mut t = Table::new(
+            "mix",
+            Schema::new(vec![
+                ("d", ColumnType::Decimal(ty)),
+                ("n", ColumnType::Int64),
+                ("f", ColumnType::Float64),
+                ("s", ColumnType::Str),
+            ]),
+        );
+        for i in 0..50i64 {
+            t.push_row(vec![
+                Value::Decimal(
+                    UpDecimal::from_scaled_i64(i * 123_456_789 - 999, ty).expect("fits"),
+                ),
+                Value::Int64(i * 7),
+                Value::Float64(i as f64 * 0.5),
+                Value::Str(format!("row-{i}")),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        save(&t, &mut buf).unwrap();
+        let back = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.rows, t.rows);
+        assert_eq!(back.schema.columns.len(), 4);
+        for i in 0..t.rows {
+            assert_eq!(
+                back.columns[0].get_decimal(i),
+                t.columns[0].get_decimal(i),
+                "decimal row {i}"
+            );
+        }
+        let (ColumnData::Str(a), ColumnData::Str(b)) = (&back.columns[3], &t.columns[3]) else {
+            panic!()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decimal_payload_is_the_compact_bytes() {
+        // The on-disk decimal payload is bit-identical to the in-memory
+        // compact buffer — the kernel-ready format (§III-B).
+        let t = sample_table();
+        let mut buf = Vec::new();
+        save(&t, &mut buf).unwrap();
+        let (bytes, ty) = t.columns[0].decimal_bytes();
+        let payload_start = buf
+            .windows(bytes.len().min(64))
+            .position(|w| w == &bytes[..bytes.len().min(64)])
+            .expect("compact bytes embedded verbatim");
+        assert!(payload_start > 0);
+        let _ = ty;
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(matches!(
+            load(&mut &b"NOPE"[..]),
+            Err(PersistError::Corrupt(_)) | Err(PersistError::Io(_))
+        ));
+        let t = sample_table();
+        let mut buf = Vec::new();
+        save(&t, &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(load(&mut buf.as_slice()), Err(PersistError::Corrupt(_))));
+        // Truncated file.
+        let t2 = load(&mut &buf[..20]);
+        assert!(t2.is_err());
+    }
+}

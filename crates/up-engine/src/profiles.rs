@@ -1,0 +1,132 @@
+//! Execution profiles — the systems of the evaluation, selectable per
+//! database instance.
+//!
+//! A profile decides three things: which arithmetic backend evaluates
+//! DECIMAL expressions (JIT+GPU kernels, thread groups, base-10⁴ CPU
+//! numeric with a division policy, capped fixed-width integers, or plain
+//! doubles), which capability envelope applies (Table II), and which
+//! whole-system cost constants model the parts of the comparator database
+//! that sit around the arithmetic (§IV's measurement methodology: disk
+//! I/O included except MonetDB; PCIe included for GPU systems).
+
+use up_baselines::registry::{cost_for, SystemCost};
+use up_baselines::{DivProfile, LimitedKind};
+
+/// An execution profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// This work: JIT-compiled kernels on the (simulated) GPU, compact
+    /// representation, all §III-D optimizations.
+    UltraPrecise,
+    /// RateupDB-like: GPU but operator-at-a-time (no JIT — one kernel and
+    /// one materialized intermediate per operator), the §III-B1
+    /// alternative representation, max precision 36.
+    RateupLike,
+    /// HEAVY.AI-like: GPU, one 64-bit word per decimal, max precision 18,
+    /// no decimal modulo.
+    HeavyAiLike,
+    /// MonetDB-like: vectorized in-memory CPU engine, i128 decimals, max
+    /// precision 38; measured times exclude disk I/O.
+    MonetLike,
+    /// PostgreSQL-like: base-10⁴ CPU numeric, `select_div_scale`.
+    PostgresLike,
+    /// H2-like: base-10⁴ CPU numeric, +20 digits per division.
+    H2Like,
+    /// CockroachDB-like: base-10⁴ CPU numeric, 20-significant-digit
+    /// division context.
+    CockroachLike,
+    /// DOUBLE everywhere — fast and inexact (Fig. 1).
+    DoubleF64,
+}
+
+impl Profile {
+    /// Display/registry name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Profile::UltraPrecise => "UltraPrecise",
+            Profile::RateupLike => "RateupDB",
+            Profile::HeavyAiLike => "HEAVY.AI",
+            Profile::MonetLike => "MonetDB",
+            Profile::PostgresLike => "PostgreSQL",
+            Profile::H2Like => "H2",
+            Profile::CockroachLike => "CockroachDB",
+            Profile::DoubleF64 => "DOUBLE",
+        }
+    }
+
+    /// Whole-system cost constants (DOUBLE reuses its host system's).
+    pub fn system_cost(&self) -> &'static SystemCost {
+        let name = match self {
+            Profile::DoubleF64 => "PostgreSQL",
+            other => other.name(),
+        };
+        cost_for(name).expect("registry covers every profile")
+    }
+
+    /// Division-scale policy for the base-10⁴ CPU backends.
+    pub fn div_profile(&self) -> Option<DivProfile> {
+        match self {
+            Profile::PostgresLike => Some(DivProfile::Postgres),
+            Profile::H2Like => Some(DivProfile::H2),
+            Profile::CockroachLike => Some(DivProfile::Cockroach),
+            _ => None,
+        }
+    }
+
+    /// Fixed-width backend kind, when this profile is capped.
+    pub fn limited_kind(&self) -> Option<LimitedKind> {
+        match self {
+            Profile::RateupLike => Some(LimitedKind::Rateup5x32),
+            Profile::HeavyAiLike => Some(LimitedKind::HeavyAi64),
+            Profile::MonetLike => Some(LimitedKind::MonetDb128),
+            _ => None,
+        }
+    }
+
+    /// Whether the profile executes on the (simulated) GPU — its modeled
+    /// times then include PCIe transfer (§IV).
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Profile::UltraPrecise | Profile::RateupLike | Profile::HeavyAiLike)
+    }
+
+    /// Whether DECIMAL expressions go through the JIT + generated-kernel
+    /// path (only this work does).
+    pub fn uses_jit(&self) -> bool {
+        matches!(self, Profile::UltraPrecise)
+    }
+
+    /// All profiles, for sweep harnesses.
+    pub const ALL: [Profile; 8] = [
+        Profile::UltraPrecise,
+        Profile::RateupLike,
+        Profile::HeavyAiLike,
+        Profile::MonetLike,
+        Profile::PostgresLike,
+        Profile::H2Like,
+        Profile::CockroachLike,
+        Profile::DoubleF64,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_profile_has_cost_constants() {
+        for p in Profile::ALL {
+            let c = p.system_cost();
+            assert!(c.per_tuple_ns >= 0.0, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Profile::UltraPrecise.is_gpu() && Profile::UltraPrecise.uses_jit());
+        assert!(Profile::RateupLike.is_gpu() && !Profile::RateupLike.uses_jit());
+        assert!(!Profile::PostgresLike.is_gpu());
+        assert_eq!(Profile::MonetLike.limited_kind(), Some(LimitedKind::MonetDb128));
+        assert_eq!(Profile::H2Like.div_profile(), Some(DivProfile::H2));
+        assert!(!Profile::MonetLike.system_cost().includes_disk_scan);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # up-gpusim — the simulated GPU substrate
+//!
+//! A SIMT GPU simulator standing in for the NVIDIA A6000 + CUDA stack the
+//! paper evaluates on: a PTX-like ISA ([`ptx`]), a functional lockstep-warp
+//! executor with coalescing-aware memory statistics ([`exec`]), an analytic
+//! cost model turning those statistics into kernel times ([`cost`]),
+//! CGBN-style thread-group big-number arithmetic ([`cgbn`], §III-E1),
+//! multi-pass aggregation (§III-E2, [`reduce`]) and an Nsight-like profiler
+//! view ([`profiler`]).
+
+pub mod cgbn;
+pub mod disasm;
+pub mod cost;
+pub mod device;
+pub mod exec;
+pub mod profiler;
+pub mod ptx;
+pub mod reduce;
+
+pub use device::DeviceConfig;
+pub use exec::{launch, launch_sampled, ExecStats, GlobalMem, LaunchConfig, SimError};
+pub use ptx::{CmpOp, Inst, Kernel, KernelBuilder, PReg, Reg, Special, Stmt};
+
+/// log₂(10) — bit-per-decimal-digit conversion used by cost formulas.
+pub const LOG2_10_APPROX: f64 = core::f64::consts::LOG2_10;

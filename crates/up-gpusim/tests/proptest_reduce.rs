@@ -1,0 +1,113 @@
+//! Property tests for the multi-pass aggregation (§III-E2) and the
+//! thread-group arithmetic (§III-E1): results must equal naive folds at
+//! every TPI and device geometry, and the pass plans must obey the
+//! paper's shared-memory formulas.
+
+use proptest::prelude::*;
+use up_gpusim::cgbn::{group_eval, GroupOp, Tpi};
+use up_gpusim::reduce::{aggregate, plan_aggregation, AggOp};
+use up_gpusim::DeviceConfig;
+use up_num::{BigInt, DecimalType, UpDecimal};
+
+fn vals(raw: &[i64], s: u32) -> (Vec<UpDecimal>, DecimalType) {
+    let ty = DecimalType::new_unchecked(19, s);
+    (
+        raw.iter()
+            .map(|&v| UpDecimal::from_scaled_i64(v, ty).expect("19 digits fit"))
+            .collect(),
+        ty,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sum_equals_naive_fold_for_every_tpi(
+        raw in prop::collection::vec(any::<i32>(), 1..400),
+        s in 0u32..=6,
+        tpi_idx in 0usize..5,
+    ) {
+        let raw: Vec<i64> = raw.iter().map(|&v| v as i64).collect();
+        let (values, ty) = vals(&raw, s);
+        let tpi = Tpi(up_gpusim::cgbn::TPI_VALUES[tpi_idx]);
+        let out_ty = ty.sum_result(values.len() as u64);
+        for device in [DeviceConfig::a6000(), DeviceConfig::tiny()] {
+            let run = aggregate(AggOp::Sum, &values, out_ty, tpi, &device);
+            let expect: i128 = raw.iter().map(|&v| v as i128).sum();
+            prop_assert_eq!(run.result.unscaled(), &BigInt::from(expect));
+            prop_assert!(run.total_s > 0.0);
+            // The plan covers exactly the input.
+            prop_assert_eq!(run.plan.passes[0].n_in, values.len() as u64);
+            prop_assert_eq!(run.plan.passes.last().unwrap().n_out, 1);
+        }
+    }
+
+    #[test]
+    fn min_max_equal_iterator_extremes(
+        raw in prop::collection::vec(any::<i32>(), 1..200),
+        s in 0u32..=4,
+    ) {
+        let raw: Vec<i64> = raw.iter().map(|&v| v as i64).collect();
+        let (values, ty) = vals(&raw, s);
+        let device = DeviceConfig::tiny();
+        let min = aggregate(AggOp::Min, &values, ty, Tpi(8), &device).result;
+        let max = aggregate(AggOp::Max, &values, ty, Tpi(8), &device).result;
+        let want_min = *raw.iter().min().expect("non-empty");
+        let want_max = *raw.iter().max().expect("non-empty");
+        prop_assert_eq!(min.unscaled(), &BigInt::from(want_min));
+        prop_assert_eq!(max.unscaled(), &BigInt::from(want_max));
+    }
+
+    #[test]
+    fn plan_formulas_hold(n in 1u64..5_000_000, lw in 1usize..=32, tpi_idx in 0usize..5) {
+        let device = DeviceConfig::a6000();
+        let tpi = Tpi(up_gpusim::cgbn::TPI_VALUES[tpi_idx]);
+        let plan = plan_aggregation(n, lw, tpi, &device);
+        let t_max = device.max_threads_per_block as u64;
+        let s = device.shared_mem_per_block as u64;
+        for pass in &plan.passes {
+            // §III-E2 verbatim: Ng = Tmax/TPI; nt = ⌊S/(Ng(4Lw+1))⌋.
+            prop_assert_eq!(pass.ng, (t_max / tpi.0 as u64).max(1));
+            prop_assert_eq!(pass.nt, (s / (pass.ng * (4 * lw as u64 + 1))).max(1));
+            prop_assert_eq!(pass.n_per_block, pass.nt * pass.ng);
+            prop_assert_eq!(pass.blocks, pass.n_in.div_ceil(pass.n_per_block));
+            prop_assert_eq!(pass.n_out, pass.blocks);
+        }
+        // Passes strictly shrink to one block.
+        prop_assert_eq!(plan.passes.last().unwrap().blocks, 1);
+        for w in plan.passes.windows(2) {
+            prop_assert!(w[1].n_in < w[0].n_in);
+        }
+    }
+
+    #[test]
+    fn group_arithmetic_matches_scalar_for_all_tpi(
+        a in any::<i64>(),
+        b in any::<i64>(),
+        sa in 0u32..=5,
+        sb in 0u32..=5,
+        op_idx in 0usize..3,
+    ) {
+        let ta = DecimalType::new_unchecked(19, sa);
+        let tb = DecimalType::new_unchecked(19, sb);
+        let va = UpDecimal::from_scaled_i64(a >> 1, ta).expect("fits");
+        let vb = UpDecimal::from_scaled_i64(b >> 1, tb).expect("fits");
+        let op = [GroupOp::Add, GroupOp::Mul, GroupOp::Div][op_idx];
+        prop_assume!(!(op == GroupOp::Div && vb.is_zero()));
+        let expect = match op {
+            GroupOp::Add => Some(va.add(&vb)),
+            GroupOp::Mul => Some(va.mul(&vb)),
+            GroupOp::Div => va.div(&vb).ok(),
+        };
+        for tpi in up_gpusim::cgbn::TPI_VALUES {
+            match (group_eval(op, &va, &vb, Tpi(tpi)), &expect) {
+                (Ok((got, _)), Some(want)) => {
+                    prop_assert_eq!(got.cmp_value(want), std::cmp::Ordering::Equal, "tpi={}", tpi);
+                }
+                (Err(_), _) => {} // CGBN division restriction — allowed
+                (Ok(_), None) => prop_assert!(false, "scalar failed but group succeeded"),
+            }
+        }
+    }
+}

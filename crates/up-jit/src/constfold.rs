@@ -1,0 +1,358 @@
+//! Constant optimization — §III-D2, Fig. 7.
+//!
+//! Three compile-time transformations on the n-ary tree:
+//!
+//! 1. **constant grouping + pre-calculation**: at each `Sum`/`Prod` level
+//!    the constant children are gathered and evaluated, leaving at most
+//!    one constant per level (`1 + a + 2 + 11` → `14 + a`);
+//! 2. **shortcut elimination**: identities are removed iteratively —
+//!    `+a` (singleton sums), `0 + a`, `1 × a`, and fully-constant
+//!    `Div`/`Mod` subtrees (`1 + a + 2 − 3` → `a`, so no kernel is
+//!    generated at all; `0.25 × (a+b) × 4` → `a + b`);
+//! 3. **compile-time constant conversion & alignment**: remaining
+//!    constants are typed by their value ("1.23 is DECIMAL(3, 2)") and
+//!    pre-aligned to the smallest strictly-greater sibling scale (Fig. 7
+//!    casts 2.23 `DECIMAL(3,2)` to 2.230 `DECIMAL(4,3)`), removing the
+//!    per-tuple alignment from the kernel.
+
+use crate::nary::NExpr;
+use up_num::{DecimalType, UpDecimal};
+
+/// Applies constant grouping, pre-calculation and shortcut elimination.
+pub fn fold_constants(n: NExpr) -> NExpr {
+    match n {
+        NExpr::Sum(children) => {
+            let children: Vec<NExpr> = children.into_iter().map(fold_constants).collect();
+            // Re-flatten: folding may have exposed nested sums.
+            let mut flat = Vec::with_capacity(children.len());
+            for c in children {
+                match c {
+                    NExpr::Sum(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            let (consts, mut rest): (Vec<NExpr>, Vec<NExpr>) =
+                flat.into_iter().partition(|c| matches!(c, NExpr::Const(_)));
+            if !consts.is_empty() {
+                let mut acc: Option<UpDecimal> = None;
+                for c in consts {
+                    let NExpr::Const(v) = c else { unreachable!() };
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => tighten(a.add(&v)),
+                    });
+                }
+                let folded = acc.expect("at least one const");
+                // Shortcut 0 + a: drop a zero constant unless it is the
+                // whole sum.
+                if !folded.is_zero() || rest.is_empty() {
+                    rest.push(NExpr::Const(folded));
+                }
+            }
+            match rest.len() {
+                0 => unreachable!("sum kept at least one child"),
+                1 => rest.pop().expect("singleton"), // shortcut "+a"
+                _ => NExpr::Sum(rest),
+            }
+        }
+        NExpr::Prod(children) => {
+            let children: Vec<NExpr> = children.into_iter().map(fold_constants).collect();
+            let mut flat = Vec::with_capacity(children.len());
+            for c in children {
+                match c {
+                    NExpr::Prod(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            let (consts, mut rest): (Vec<NExpr>, Vec<NExpr>) =
+                flat.into_iter().partition(|c| matches!(c, NExpr::Const(_)));
+            if !consts.is_empty() {
+                let mut acc: Option<UpDecimal> = None;
+                for c in consts {
+                    let NExpr::Const(v) = c else { unreachable!() };
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => tighten(a.mul(&v)),
+                    });
+                }
+                let folded = acc.expect("at least one const");
+                if folded.is_zero() {
+                    // 0 × anything — the whole product is a constant zero.
+                    return NExpr::Const(folded);
+                }
+                // Shortcut 1 × a: drop a unit constant unless it is the
+                // whole product.
+                if !is_one(&folded) || rest.is_empty() {
+                    rest.push(NExpr::Const(folded));
+                }
+            }
+            match rest.len() {
+                0 => unreachable!("prod kept at least one child"),
+                1 => rest.pop().expect("singleton"),
+                _ => NExpr::Prod(rest),
+            }
+        }
+        NExpr::Neg(x) => match fold_constants(*x) {
+            NExpr::Const(c) => NExpr::Const(c.neg()),
+            other => NExpr::Neg(Box::new(other)),
+        },
+        NExpr::Div(a, b) => {
+            let (a, b) = (fold_constants(*a), fold_constants(*b));
+            if let (NExpr::Const(ca), NExpr::Const(cb)) = (&a, &b) {
+                if let Ok(q) = ca.div(cb) {
+                    return NExpr::Const(q);
+                }
+            }
+            NExpr::Div(Box::new(a), Box::new(b))
+        }
+        NExpr::Mod(a, b) => {
+            let (a, b) = (fold_constants(*a), fold_constants(*b));
+            if let (NExpr::Const(ca), NExpr::Const(cb)) = (&a, &b) {
+                if let Ok(r) = ca.rem(cb) {
+                    return NExpr::Const(r);
+                }
+            }
+            NExpr::Mod(Box::new(a), Box::new(b))
+        }
+        leaf => leaf,
+    }
+}
+
+/// Pre-aligns each `Sum`'s remaining constant to the minimum sibling scale
+/// strictly greater than its own (Fig. 7: 2.23 → 2.230 when a scale-3
+/// sibling exists), so the kernel never aligns the constant at runtime.
+pub fn prealign_constants(n: NExpr) -> NExpr {
+    match n {
+        NExpr::Sum(children) => {
+            let scales: Vec<u32> = children.iter().map(NExpr::scale).collect();
+            let children = children
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let c = prealign_constants(c);
+                    if let NExpr::Const(v) = &c {
+                        let my = v.dtype().scale;
+                        let target = scales
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, &s)| j != i && s > my)
+                            .map(|(_, &s)| s)
+                            .min();
+                        if let Some(t) = target {
+                            let ty = DecimalType::new_unchecked(
+                                v.dtype().precision + (t - my),
+                                t,
+                            );
+                            if let Ok(cast) = v.cast(ty) {
+                                return NExpr::Const(cast);
+                            }
+                        }
+                    }
+                    c
+                })
+                .collect();
+            NExpr::Sum(children)
+        }
+        NExpr::Prod(children) => {
+            NExpr::Prod(children.into_iter().map(prealign_constants).collect())
+        }
+        NExpr::Neg(x) => NExpr::Neg(Box::new(prealign_constants(*x))),
+        NExpr::Div(a, b) => NExpr::Div(
+            Box::new(prealign_constants(*a)),
+            Box::new(prealign_constants(*b)),
+        ),
+        NExpr::Mod(a, b) => NExpr::Mod(
+            Box::new(prealign_constants(*a)),
+            Box::new(prealign_constants(*b)),
+        ),
+        leaf => leaf,
+    }
+}
+
+/// Re-types a computed constant to its value's minimal type ("the
+/// remaining constants are converted to DECIMAL based on their value",
+/// §III-D2) — folding `1 + 2 + 11` through the §III-B3 add rule would
+/// otherwise leave 14 typed as a wide intermediate.
+fn tighten(v: UpDecimal) -> UpDecimal {
+    let digits = v.unscaled().dec_digits().max(1);
+    let scale = v.dtype().scale;
+    let ty = DecimalType::new_unchecked(digits.max(scale + u32::from(digits <= scale)), scale);
+    UpDecimal::from_parts_unchecked(v.unscaled().clone(), ty)
+}
+
+fn is_one(v: &UpDecimal) -> bool {
+    let one = UpDecimal::parse_literal("1").expect("literal 1");
+    v.cmp_value(&one) == core::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use up_num::DecimalType;
+
+    fn ty(p: u32, s: u32) -> DecimalType {
+        DecimalType::new_unchecked(p, s)
+    }
+
+    fn a() -> Expr {
+        Expr::col(0, ty(12, 10), "a")
+    }
+
+    fn b() -> Expr {
+        Expr::col(1, ty(12, 10), "b")
+    }
+
+    fn fold(e: &Expr) -> NExpr {
+        fold_constants(NExpr::from_expr(e))
+    }
+
+    #[test]
+    fn fig12_first_case_1_a_2_11() {
+        // 1 + a + 2 + 11 → 14 + a ("we reduce 3 additions to 1").
+        let e = Expr::lit("1")
+            .unwrap()
+            .add(a())
+            .add(Expr::lit("2").unwrap())
+            .add(Expr::lit("11").unwrap());
+        let n = fold(&e);
+        match &n {
+            NExpr::Sum(children) => {
+                assert_eq!(children.len(), 2);
+                let c = children
+                    .iter()
+                    .find_map(|c| match c {
+                        NExpr::Const(v) => Some(v),
+                        _ => None,
+                    })
+                    .expect("folded const");
+                assert_eq!(c.to_string(), "14");
+                assert_eq!(c.dtype(), ty(2, 0)); // re-typed by value
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(n.to_expr().op_count(), 1);
+    }
+
+    #[test]
+    fn fig12_second_case_reduces_to_bare_column() {
+        // 1 + a + 2 − 3 → a ("no GPU kernel is generated").
+        let e = Expr::lit("1")
+            .unwrap()
+            .add(a())
+            .add(Expr::lit("2").unwrap())
+            .sub(Expr::lit("3").unwrap());
+        let n = fold(&e);
+        assert!(matches!(n, NExpr::Col { .. }), "{n:?}");
+    }
+
+    #[test]
+    fn fig12_third_case_unit_product() {
+        // 0.25 × (a + b) × 4 → a + b ("we actually evaluate a+b").
+        let e = Expr::lit("0.25").unwrap().mul(a().add(b())).mul(Expr::lit("4").unwrap());
+        let n = fold(&e);
+        match &n {
+            NExpr::Sum(children) => assert_eq!(children.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(n.to_expr().op_count(), 1);
+    }
+
+    #[test]
+    fn fig7_shortcut_0_plus_c() {
+        // b × (5 + c − 5): the inner sum folds to 0 + c → c.
+        let c = Expr::col(2, ty(12, 3), "c");
+        let e = b().mul(Expr::lit("5").unwrap().add(c).sub(Expr::lit("5").unwrap()));
+        let n = fold(&e);
+        match &n {
+            NExpr::Prod(children) => {
+                assert_eq!(children.len(), 2);
+                assert!(children.iter().all(|c| matches!(c, NExpr::Col { .. })));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig7_full_pipeline_with_prealignment() {
+        // 1 + a + b×(5 + c − 5) + d + 1.23 → Sum[a, Prod[b,c], d, 2.230].
+        let e = Expr::lit("1")
+            .unwrap()
+            .add(Expr::col(0, ty(12, 1), "a"))
+            .add(
+                Expr::col(1, ty(12, 2), "b")
+                    .mul(Expr::lit("5").unwrap().add(Expr::col(2, ty(12, 1), "c")).sub(Expr::lit("5").unwrap())),
+            )
+            .add(Expr::col(3, ty(12, 2), "d"))
+            .add(Expr::lit("1.23").unwrap());
+        let n = prealign_constants(fold(&e));
+        match &n {
+            NExpr::Sum(children) => {
+                assert_eq!(children.len(), 4);
+                let c = children
+                    .iter()
+                    .find_map(|c| match c {
+                        NExpr::Const(v) => Some(v),
+                        _ => None,
+                    })
+                    .expect("const child");
+                // 1 + 1.23 = 2.23 in (3,2), pre-aligned to the Prod's
+                // strictly greater scale 3 → 2.230 in (4,3), as Fig. 7.
+                assert_eq!(c.to_string(), "2.230");
+                assert_eq!(c.dtype(), ty(4, 3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn folding_preserves_value() {
+        let e = Expr::lit("1")
+            .unwrap()
+            .add(a())
+            .add(Expr::lit("2").unwrap())
+            .add(Expr::lit("11").unwrap());
+        let n = fold(&e).to_expr();
+        let row = vec![up_num::UpDecimal::parse("-7.0000000001", ty(12, 10)).unwrap()];
+        let v1 = e.eval_row(&row).unwrap();
+        let v2 = n.eval_row(&row).unwrap();
+        assert_eq!(v1.cmp_value(&v2), core::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn zero_product_collapses() {
+        let e = a().mul(Expr::lit("0").unwrap()).mul(b());
+        let n = fold(&e);
+        match n {
+            NExpr::Const(c) => assert!(c.is_zero()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn const_division_precomputes() {
+        // a + 10/4 → a + 2.5000 (division folds with the scale+4 rule).
+        let e = a().add(Expr::lit("10").unwrap().div(Expr::lit("4").unwrap()));
+        let n = fold(&e);
+        match &n {
+            NExpr::Sum(children) => {
+                let c = children
+                    .iter()
+                    .find_map(|c| match c {
+                        NExpr::Const(v) => Some(v),
+                        _ => None,
+                    })
+                    .expect("const");
+                assert_eq!(c.to_string(), "2.5000");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn div_by_zero_constant_is_left_for_runtime() {
+        let e = a().div(Expr::lit("0").unwrap());
+        let n = fold(&e);
+        assert!(matches!(n, NExpr::Div(_, _)));
+    }
+}

@@ -1,0 +1,334 @@
+//! Typed decimal expression trees.
+//!
+//! A SQL expression over `DECIMAL` columns parses into this tree; the JIT
+//! engine types it bottom-up with the §III-B3 rules, rewrites it
+//! (alignment scheduling §III-D1, constant optimization §III-D2), and
+//! compiles it to a GPU kernel. [`Expr::eval_row`] is the scalar reference
+//! semantics every generated kernel must match bit-for-bit.
+
+use up_num::{DecimalType, NumError, UpDecimal};
+
+/// A decimal-valued expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A column reference: input slot + declared type.
+    Col {
+        /// Index into the kernel's input column array.
+        index: usize,
+        /// The column's declared `DECIMAL(p, s)`.
+        ty: DecimalType,
+        /// Name for diagnostics and codegen labels.
+        name: String,
+    },
+    /// A literal, already converted to `DECIMAL` (the JIT does this at
+    /// compile time, §III-D2).
+    Const(UpDecimal),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division (result scale `s₁ + 4`).
+    Div(Box<Expr>, Box<Expr>),
+    /// Integer modulo (result scale 0).
+    Mod(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(index: usize, ty: DecimalType, name: impl Into<String>) -> Expr {
+        Expr::Col { index, ty, name: name.into() }
+    }
+
+    /// Literal helper: parses with the smallest sufficient type (§III-D2's
+    /// "1.23 is DECIMAL(3, 2)").
+    pub fn lit(text: &str) -> Result<Expr, NumError> {
+        Ok(Expr::Const(UpDecimal::parse_literal(text)?))
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs`.
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Mod(Box::new(self), Box::new(rhs))
+    }
+
+    /// Unary minus.
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+
+    /// Infers the result type bottom-up (§III-B3). The JIT calls this "in
+    /// a bottom-up manner from an expression tree parsed", which lets it
+    /// size every intermediate at compile time.
+    pub fn dtype(&self) -> DecimalType {
+        match self {
+            Expr::Col { ty, .. } => *ty,
+            Expr::Const(c) => c.dtype(),
+            Expr::Neg(e) => e.dtype().neg_result(),
+            Expr::Add(a, b) | Expr::Sub(a, b) => a.dtype().add_result(&b.dtype()),
+            Expr::Mul(a, b) => a.dtype().mul_result(&b.dtype()),
+            Expr::Div(a, b) => a.dtype().div_result(&b.dtype()),
+            Expr::Mod(a, b) => a.dtype().mod_result(&b.dtype()),
+        }
+    }
+
+    /// Evaluates against one tuple's column values — the CPU reference
+    /// semantics for every generated kernel.
+    pub fn eval_row(&self, cols: &[UpDecimal]) -> Result<UpDecimal, NumError> {
+        match self {
+            Expr::Col { index, ty, name } => {
+                let v = cols.get(*index).ok_or_else(|| {
+                    NumError::Parse(format!("column {name} (#{index}) missing from row"))
+                })?;
+                debug_assert_eq!(v.dtype(), *ty, "column {name} type mismatch");
+                Ok(v.clone())
+            }
+            Expr::Const(c) => Ok(c.clone()),
+            Expr::Neg(e) => Ok(e.eval_row(cols)?.neg()),
+            Expr::Add(a, b) => Ok(a.eval_row(cols)?.add(&b.eval_row(cols)?)),
+            Expr::Sub(a, b) => Ok(a.eval_row(cols)?.sub(&b.eval_row(cols)?)),
+            Expr::Mul(a, b) => Ok(a.eval_row(cols)?.mul(&b.eval_row(cols)?)),
+            Expr::Div(a, b) => a.eval_row(cols)?.div(&b.eval_row(cols)?),
+            Expr::Mod(a, b) => a.eval_row(cols)?.rem(&b.eval_row(cols)?),
+        }
+    }
+
+    /// Column indices referenced, in first-use order without duplicates.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit_cols(&mut |i| {
+            if !out.contains(&i) {
+                out.push(i);
+            }
+        });
+        out
+    }
+
+    fn visit_cols(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            Expr::Col { index, .. } => f(*index),
+            Expr::Const(_) => {}
+            Expr::Neg(e) => e.visit_cols(f),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Mod(a, b) => {
+                a.visit_cols(f);
+                b.visit_cols(f);
+            }
+        }
+    }
+
+    /// True iff no column is referenced — the sub-expression can be
+    /// pre-calculated at compile time (§III-D2).
+    pub fn is_const(&self) -> bool {
+        match self {
+            Expr::Col { .. } => false,
+            Expr::Const(_) => true,
+            Expr::Neg(e) => e.is_const(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Mod(a, b) => {
+                a.is_const() && b.is_const()
+            }
+        }
+    }
+
+    /// Number of arithmetic operator nodes.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Col { .. } | Expr::Const(_) => 0,
+            Expr::Neg(e) => 1 + e.op_count(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Mod(a, b) => {
+                1 + a.op_count() + b.op_count()
+            }
+        }
+    }
+
+    /// Structural signature used as the kernel-cache key: two expressions
+    /// with the same signature compile to the same kernel.
+    pub fn signature(&self) -> String {
+        match self {
+            Expr::Col { index, ty, .. } => format!("c{index}:{}:{}", ty.precision, ty.scale),
+            Expr::Const(c) => format!("k({}:{}:{})", c.unscaled(), c.dtype().precision, c.dtype().scale),
+            Expr::Neg(e) => format!("neg({})", e.signature()),
+            Expr::Add(a, b) => format!("add({},{})", a.signature(), b.signature()),
+            Expr::Sub(a, b) => format!("sub({},{})", a.signature(), b.signature()),
+            Expr::Mul(a, b) => format!("mul({},{})", a.signature(), b.signature()),
+            Expr::Div(a, b) => format!("div({},{})", a.signature(), b.signature()),
+            Expr::Mod(a, b) => format!("mod({},{})", a.signature(), b.signature()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(p: u32, s: u32) -> DecimalType {
+        DecimalType::new_unchecked(p, s)
+    }
+
+    fn d(s: &str, p: u32, sc: u32) -> UpDecimal {
+        UpDecimal::parse(s, ty(p, sc)).unwrap()
+    }
+
+    #[test]
+    fn typing_is_bottom_up() {
+        // Fig. 6's tree: a + b×c + d − e with (12,5)·(12,5) → (24,10).
+        let e = Expr::col(0, ty(12, 2), "a")
+            .add(Expr::col(1, ty(12, 5), "b").mul(Expr::col(2, ty(12, 5), "c")))
+            .add(Expr::col(3, ty(12, 2), "d"))
+            .sub(Expr::col(4, ty(12, 2), "e"));
+        let t = e.dtype();
+        assert_eq!(t.scale, 10); // dominated by the product's scale
+        assert!(t.precision > t.scale);
+    }
+
+    #[test]
+    fn eval_row_matches_manual() {
+        let e = Expr::col(0, ty(4, 2), "c1").add(Expr::col(1, ty(4, 1), "c2"));
+        let row = vec![d("1.23", 4, 2), d("1.1", 4, 1)];
+        assert_eq!(e.eval_row(&row).unwrap().to_string(), "2.33");
+    }
+
+    #[test]
+    fn eval_row_full_operator_mix() {
+        // (a - b) * 2 / c % 7
+        let e = Expr::col(0, ty(6, 1), "a")
+            .sub(Expr::col(1, ty(6, 1), "b"))
+            .mul(Expr::lit("2").unwrap())
+            .div(Expr::col(2, ty(3, 0), "c"))
+            .rem(Expr::lit("7").unwrap());
+        let row = vec![d("100.5", 6, 1), d("0.5", 6, 1), d("4", 3, 0)];
+        // (100.0) * 2 / 4 = 50.00000 → % 7 = 1
+        assert_eq!(e.eval_row(&row).unwrap().to_string(), "1");
+    }
+
+    #[test]
+    fn columns_and_constness() {
+        let e = Expr::lit("1").unwrap().add(Expr::col(2, ty(4, 0), "x")).mul(Expr::lit("3").unwrap());
+        assert_eq!(e.columns(), vec![2]);
+        assert!(!e.is_const());
+        let c = Expr::lit("1").unwrap().add(Expr::lit("2").unwrap());
+        assert!(c.is_const());
+        assert_eq!(c.op_count(), 1);
+    }
+
+    #[test]
+    fn signatures_distinguish_types_and_shapes() {
+        let a = Expr::col(0, ty(4, 2), "a").add(Expr::col(1, ty(4, 1), "b"));
+        let b = Expr::col(0, ty(4, 2), "a").add(Expr::col(1, ty(4, 2), "b"));
+        let c = Expr::col(0, ty(4, 2), "a").sub(Expr::col(1, ty(4, 1), "b"));
+        assert_ne!(a.signature(), b.signature());
+        assert_ne!(a.signature(), c.signature());
+        // Same shape ⇒ same signature regardless of names.
+        let a2 = Expr::col(0, ty(4, 2), "x").add(Expr::col(1, ty(4, 1), "y"));
+        assert_eq!(a.signature(), a2.signature());
+    }
+
+    #[test]
+    fn division_by_zero_propagates() {
+        let e = Expr::col(0, ty(4, 0), "a").div(Expr::lit("0").unwrap());
+        let row = vec![d("5", 4, 0)];
+        assert!(e.eval_row(&row).is_err());
+    }
+}
+
+impl core::fmt::Display for Expr {
+    /// Renders as SQL-ish text with minimal parentheses — used by EXPLAIN
+    /// output and diagnostics.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        fn prec(e: &Expr) -> u8 {
+            match e {
+                Expr::Add(..) | Expr::Sub(..) => 1,
+                Expr::Mul(..) | Expr::Div(..) | Expr::Mod(..) => 2,
+                Expr::Neg(..) => 3,
+                Expr::Col { .. } | Expr::Const(_) => 4,
+            }
+        }
+        fn go(e: &Expr, parent: u8, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            let mine = prec(e);
+            let need = mine < parent;
+            if need {
+                write!(f, "(")?;
+            }
+            match e {
+                Expr::Col { name, .. } => write!(f, "{name}")?,
+                Expr::Const(c) => write!(f, "{c}")?,
+                Expr::Neg(x) => {
+                    write!(f, "-")?;
+                    go(x, mine, f)?;
+                }
+                Expr::Add(a, b) => {
+                    go(a, mine, f)?;
+                    write!(f, " + ")?;
+                    go(b, mine + 1, f)?;
+                }
+                Expr::Sub(a, b) => {
+                    go(a, mine, f)?;
+                    write!(f, " - ")?;
+                    go(b, mine + 1, f)?;
+                }
+                Expr::Mul(a, b) => {
+                    go(a, mine, f)?;
+                    write!(f, " * ")?;
+                    go(b, mine + 1, f)?;
+                }
+                Expr::Div(a, b) => {
+                    go(a, mine, f)?;
+                    write!(f, " / ")?;
+                    go(b, mine + 1, f)?;
+                }
+                Expr::Mod(a, b) => {
+                    go(a, mine, f)?;
+                    write!(f, " % ")?;
+                    go(b, mine + 1, f)?;
+                }
+            }
+            if need {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    fn ty(p: u32, s: u32) -> DecimalType {
+        DecimalType::new_unchecked(p, s)
+    }
+
+    #[test]
+    fn renders_with_minimal_parens() {
+        let a = || Expr::col(0, ty(12, 2), "a");
+        let b = || Expr::col(1, ty(12, 2), "b");
+        assert_eq!(a().add(b()).mul(a()).to_string(), "(a + b) * a");
+        assert_eq!(a().mul(b()).add(a()).to_string(), "a * b + a");
+        assert_eq!(a().sub(b().sub(a())).to_string(), "a - (b - a)");
+        assert_eq!(a().neg().mul(b()).to_string(), "-a * b");
+        let e = Expr::lit("0.25").unwrap().mul(a().add(b()));
+        assert_eq!(e.to_string(), "0.25 * (a + b)");
+    }
+}

@@ -1,0 +1,265 @@
+//! Binary ↔ n-ary expression conversion — steps 1–3 and 5 of the
+//! alignment-scheduling rewrite (§III-D1):
+//!
+//! 1. the expression arrives as a binary tree;
+//! 2. subtractions become additions of a unary-negated subtrahend;
+//! 3. neighboring addition (and multiplication) levels collapse into one
+//!    n-ary node;
+//! 5. after scheduling, the n-ary tree converts back to a binary tree for
+//!    code generation.
+//!
+//! Scales propagate through the n-ary tree exactly as Fig. 6 annotates:
+//! "'×' sums the scale of its operands and the unary negation '−'
+//! inherits the scale".
+
+use crate::expr::Expr;
+use up_num::UpDecimal;
+
+/// N-ary expression node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NExpr {
+    /// Column leaf.
+    Col {
+        /// Input slot.
+        index: usize,
+        /// Declared type.
+        ty: up_num::DecimalType,
+        /// Diagnostic name.
+        name: String,
+    },
+    /// Constant leaf.
+    Const(UpDecimal),
+    /// Unary negation (scale inherited).
+    Neg(Box<NExpr>),
+    /// N-ary addition (collapsed `+` levels).
+    Sum(Vec<NExpr>),
+    /// N-ary multiplication (collapsed `×` levels).
+    Prod(Vec<NExpr>),
+    /// Division (kept binary).
+    Div(Box<NExpr>, Box<NExpr>),
+    /// Modulo (kept binary).
+    Mod(Box<NExpr>, Box<NExpr>),
+}
+
+impl NExpr {
+    /// Converts a binary tree: rewrites `a − b` as `a + (−b)` and
+    /// collapses neighboring `+`/`×` levels.
+    pub fn from_expr(e: &Expr) -> NExpr {
+        match e {
+            Expr::Col { index, ty, name } => {
+                NExpr::Col { index: *index, ty: *ty, name: name.clone() }
+            }
+            Expr::Const(c) => NExpr::Const(c.clone()),
+            Expr::Neg(inner) => match NExpr::from_expr(inner) {
+                NExpr::Neg(x) => *x, // −(−x) = x
+                other => NExpr::Neg(Box::new(other)),
+            },
+            Expr::Add(a, b) => {
+                let mut children = Vec::new();
+                flatten_sum(NExpr::from_expr(a), &mut children);
+                flatten_sum(NExpr::from_expr(b), &mut children);
+                NExpr::Sum(children)
+            }
+            Expr::Sub(a, b) => {
+                let mut children = Vec::new();
+                flatten_sum(NExpr::from_expr(a), &mut children);
+                // Step 2: "the subtrahend is converted into a two-level
+                // subtree with the unary negation operator as its root".
+                flatten_sum(negate(NExpr::from_expr(b)), &mut children);
+                NExpr::Sum(children)
+            }
+            Expr::Mul(a, b) => {
+                let mut children = Vec::new();
+                flatten_prod(NExpr::from_expr(a), &mut children);
+                flatten_prod(NExpr::from_expr(b), &mut children);
+                NExpr::Prod(children)
+            }
+            Expr::Div(a, b) => {
+                NExpr::Div(Box::new(NExpr::from_expr(a)), Box::new(NExpr::from_expr(b)))
+            }
+            Expr::Mod(a, b) => {
+                NExpr::Mod(Box::new(NExpr::from_expr(a)), Box::new(NExpr::from_expr(b)))
+            }
+        }
+    }
+
+    /// Converts back to a binary tree (left-fold in child order), turning
+    /// `x + (−y)` back into `x − y` so codegen emits subtractions.
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            NExpr::Col { index, ty, name } => Expr::Col { index: *index, ty: *ty, name: name.clone() },
+            NExpr::Const(c) => Expr::Const(c.clone()),
+            NExpr::Neg(x) => Expr::Neg(Box::new(x.to_expr())),
+            NExpr::Sum(children) => {
+                assert!(!children.is_empty(), "empty Sum");
+                let mut it = children.iter();
+                let mut acc = it.next().expect("non-empty").to_expr();
+                for child in it {
+                    acc = match child {
+                        NExpr::Neg(x) => acc.sub(x.to_expr()),
+                        other => acc.add(other.to_expr()),
+                    };
+                }
+                acc
+            }
+            NExpr::Prod(children) => {
+                assert!(!children.is_empty(), "empty Prod");
+                let mut it = children.iter();
+                let mut acc = it.next().expect("non-empty").to_expr();
+                for child in it {
+                    acc = acc.mul(child.to_expr());
+                }
+                acc
+            }
+            NExpr::Div(a, b) => a.to_expr().div(b.to_expr()),
+            NExpr::Mod(a, b) => a.to_expr().rem(b.to_expr()),
+        }
+    }
+
+    /// The node's result scale, per the Fig. 6 annotations.
+    pub fn scale(&self) -> u32 {
+        match self {
+            NExpr::Col { ty, .. } => ty.scale,
+            NExpr::Const(c) => c.dtype().scale,
+            NExpr::Neg(x) => x.scale(),
+            NExpr::Sum(children) => children.iter().map(NExpr::scale).max().unwrap_or(0),
+            NExpr::Prod(children) => children.iter().map(NExpr::scale).sum(),
+            NExpr::Div(a, _) => a.scale() + up_num::DIV_EXTRA_SCALE,
+            NExpr::Mod(_, _) => 0,
+        }
+    }
+
+    /// True iff no column is referenced (compile-time evaluable, §III-D2).
+    pub fn is_const(&self) -> bool {
+        match self {
+            NExpr::Col { .. } => false,
+            NExpr::Const(_) => true,
+            NExpr::Neg(x) => x.is_const(),
+            NExpr::Sum(c) | NExpr::Prod(c) => c.iter().all(NExpr::is_const),
+            NExpr::Div(a, b) | NExpr::Mod(a, b) => a.is_const() && b.is_const(),
+        }
+    }
+}
+
+fn flatten_sum(n: NExpr, out: &mut Vec<NExpr>) {
+    match n {
+        NExpr::Sum(children) => out.extend(children),
+        other => out.push(other),
+    }
+}
+
+fn flatten_prod(n: NExpr, out: &mut Vec<NExpr>) {
+    match n {
+        NExpr::Prod(children) => out.extend(children),
+        other => out.push(other),
+    }
+}
+
+/// Negates an n-ary node, distributing over sums so `a − (b + c)` becomes
+/// `a + (−b) + (−c)` and double negations cancel.
+fn negate(n: NExpr) -> NExpr {
+    match n {
+        NExpr::Neg(x) => *x,
+        NExpr::Sum(children) => NExpr::Sum(children.into_iter().map(negate).collect()),
+        NExpr::Const(c) => NExpr::Const(c.neg()),
+        other => NExpr::Neg(Box::new(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use up_num::DecimalType;
+
+    fn ty(p: u32, s: u32) -> DecimalType {
+        DecimalType::new_unchecked(p, s)
+    }
+
+    fn col(i: usize, s: u32) -> Expr {
+        Expr::col(i, ty(12, s), format!("c{i}"))
+    }
+
+    #[test]
+    fn fig6_collapse() {
+        // a + b×c + d − e → Sum[a, Prod[b, c], d, Neg(e)].
+        let e = col(0, 2)
+            .add(col(1, 5).mul(col(2, 5)))
+            .add(col(3, 2))
+            .sub(col(4, 2));
+        let n = NExpr::from_expr(&e);
+        match &n {
+            NExpr::Sum(children) => {
+                assert_eq!(children.len(), 4);
+                assert!(matches!(children[1], NExpr::Prod(_)));
+                assert!(matches!(children[3], NExpr::Neg(_)));
+                // Scale annotations from Fig. 6.
+                assert_eq!(children[1].scale(), 10); // × sums scales
+                assert_eq!(children[3].scale(), 2); // − inherits
+            }
+            other => panic!("expected Sum, got {other:?}"),
+        }
+        assert_eq!(n.scale(), 10);
+    }
+
+    #[test]
+    fn sub_of_sum_distributes_negation() {
+        // a − (b + c) → Sum[a, −b, −c]
+        let e = col(0, 1).sub(col(1, 1).add(col(2, 1)));
+        match NExpr::from_expr(&e) {
+            NExpr::Sum(children) => {
+                assert_eq!(children.len(), 3);
+                assert!(matches!(children[1], NExpr::Neg(_)));
+                assert!(matches!(children[2], NExpr::Neg(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let e = col(0, 1).sub(col(1, 1).neg());
+        match NExpr::from_expr(&e) {
+            NExpr::Sum(children) => {
+                assert!(matches!(children[1], NExpr::Col { .. }), "{children:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_value() {
+        let e = col(0, 2)
+            .add(col(1, 5).mul(col(2, 5)))
+            .add(col(3, 2))
+            .sub(col(4, 2));
+        let back = NExpr::from_expr(&e).to_expr();
+        let row: Vec<_> = (0..5)
+            .map(|i| {
+                let s = if i == 1 || i == 2 { 5 } else { 2 };
+                up_num::UpDecimal::from_scaled_i64((i as i64 + 1) * 137, ty(12, s)).unwrap()
+            })
+            .collect();
+        let v1 = e.eval_row(&row).unwrap();
+        let v2 = back.eval_row(&row).unwrap();
+        assert_eq!(v1.cmp_value(&v2), core::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn to_expr_restores_subtractions() {
+        let e = col(0, 1).sub(col(1, 1));
+        let back = NExpr::from_expr(&e).to_expr();
+        assert!(matches!(back, Expr::Sub(_, _)), "{back:?}");
+    }
+
+    #[test]
+    fn constant_negation_folds_into_literal() {
+        let e = col(0, 1).sub(Expr::lit("3").unwrap());
+        match NExpr::from_expr(&e) {
+            NExpr::Sum(children) => match &children[1] {
+                NExpr::Const(c) => assert_eq!(c.to_string(), "-3"),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Alignment scheduling — step 4 of §III-D1.
+//!
+//! Two `DECIMAL`s with different scales must be aligned (×10ᵏ) before an
+//! addition; a left-fold over addends sorted by ascending scale performs
+//! the minimum number of alignments (Fig. 6 reduces 3 to 1). This module
+//! sorts `Sum` children by scale and provides [`alignment_count`], which
+//! counts the runtime alignment multiplications a given evaluation order
+//! incurs — the quantity Fig. 10 measures.
+
+use crate::expr::Expr;
+use crate::nary::NExpr;
+
+/// Sorts every `Sum`'s children by ascending scale, recursively (stable,
+/// so equal-scale operands keep query order).
+pub fn schedule_alignment(n: NExpr) -> NExpr {
+    match n {
+        NExpr::Sum(mut children) => {
+            children = children.into_iter().map(schedule_alignment).collect();
+            children.sort_by_key(|c| c.scale());
+            NExpr::Sum(children)
+        }
+        NExpr::Prod(children) => {
+            NExpr::Prod(children.into_iter().map(schedule_alignment).collect())
+        }
+        NExpr::Neg(x) => NExpr::Neg(Box::new(schedule_alignment(*x))),
+        NExpr::Div(a, b) => NExpr::Div(
+            Box::new(schedule_alignment(*a)),
+            Box::new(schedule_alignment(*b)),
+        ),
+        NExpr::Mod(a, b) => NExpr::Mod(
+            Box::new(schedule_alignment(*a)),
+            Box::new(schedule_alignment(*b)),
+        ),
+        leaf => leaf,
+    }
+}
+
+/// Counts the alignment operations a binary tree performs at runtime: one
+/// per addition/subtraction whose operands' scales differ (each such node
+/// multiplies the smaller-scale side by a power of ten, §II-B).
+pub fn alignment_count(e: &Expr) -> usize {
+    match e {
+        Expr::Col { .. } | Expr::Const(_) => 0,
+        Expr::Neg(x) => alignment_count(x),
+        Expr::Add(a, b) | Expr::Sub(a, b) => {
+            let here = usize::from(a.dtype().scale != b.dtype().scale);
+            here + alignment_count(a) + alignment_count(b)
+        }
+        Expr::Mul(a, b) => alignment_count(a) + alignment_count(b),
+        Expr::Div(a, b) | Expr::Mod(a, b) => alignment_count(a) + alignment_count(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use up_num::DecimalType;
+
+    fn ty(p: u32, s: u32) -> DecimalType {
+        DecimalType::new_unchecked(p, s)
+    }
+
+    fn a(s: u32) -> Expr {
+        Expr::col(0, ty(12, s), "a")
+    }
+
+    fn b(s: u32) -> Expr {
+        Expr::col(1, ty(17, s), "b")
+    }
+
+    /// Builds `a + b + a + a + …` with `n_a` copies of `a` (Fig. 10's
+    /// expressions with the `b` inserted second).
+    fn fig10_expr(n_a: usize) -> Expr {
+        let mut e = a(1).add(b(11));
+        for _ in 1..n_a {
+            e = e.add(a(1));
+        }
+        e
+    }
+
+    #[test]
+    fn fig10_alignment_reduction() {
+        // Unscheduled: a+b+a → 2, five-a → 4, seven-a → 6 alignments.
+        for (n_a, unsched) in [(2, 2), (4, 4), (6, 6)] {
+            let e = fig10_expr(n_a);
+            assert_eq!(alignment_count(&e), unsched, "n_a={n_a}");
+            // Scheduled: always 1 ("the alignment operations are reduced
+            // to 1 from 2, 4, and 6 times").
+            let s = schedule_alignment(NExpr::from_expr(&e)).to_expr();
+            assert_eq!(alignment_count(&s), 1, "n_a={n_a}");
+        }
+    }
+
+    #[test]
+    fn fig6_reduction_from_3_to_1() {
+        // a(2) + b(5)×c(5) + d(2) − e(2): unscheduled the product (scale
+        // 10) joins first, forcing alignments at every later addition.
+        let e = a(2)
+            .add(Expr::col(1, ty(12, 5), "b").mul(Expr::col(2, ty(12, 5), "c")))
+            .add(Expr::col(3, ty(12, 2), "d"))
+            .sub(Expr::col(4, ty(12, 2), "e"));
+        assert_eq!(alignment_count(&e), 3);
+        let s = schedule_alignment(NExpr::from_expr(&e)).to_expr();
+        assert_eq!(alignment_count(&s), 1);
+    }
+
+    #[test]
+    fn scheduling_preserves_value() {
+        let e = fig10_expr(4);
+        let s = schedule_alignment(NExpr::from_expr(&e)).to_expr();
+        let row = vec![
+            up_num::UpDecimal::parse("-3.5", ty(12, 1)).unwrap(),
+            up_num::UpDecimal::parse("0.00000000007", ty(17, 11)).unwrap(),
+        ];
+        let v1 = e.eval_row(&row).unwrap();
+        let v2 = s.eval_row(&row).unwrap();
+        assert_eq!(v1.cmp_value(&v2), core::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn equal_scales_need_no_alignment() {
+        let e = a(3).add(Expr::col(1, ty(9, 3), "x")).add(Expr::col(2, ty(4, 3), "y"));
+        assert_eq!(alignment_count(&e), 0);
+        let s = schedule_alignment(NExpr::from_expr(&e)).to_expr();
+        assert_eq!(alignment_count(&s), 0);
+    }
+
+    #[test]
+    fn stable_sort_keeps_query_order_within_scale() {
+        let e = a(1).add(Expr::col(1, ty(12, 1), "x")).add(b(11));
+        if let NExpr::Sum(children) = schedule_alignment(NExpr::from_expr(&e)) {
+            match (&children[0], &children[1]) {
+                (NExpr::Col { name: n0, .. }, NExpr::Col { name: n1, .. }) => {
+                    assert_eq!((n0.as_str(), n1.as_str()), ("a", "x"));
+                }
+                other => panic!("{other:?}"),
+            }
+        } else {
+            panic!("expected Sum");
+        }
+    }
+}

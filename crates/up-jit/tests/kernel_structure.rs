@@ -1,0 +1,115 @@
+//! Golden tests on generated-kernel *structure*: the instruction mix must
+//! reflect the paper's code shapes — carry chains sized by Lw (Listing 2),
+//! compact byte I/O (Listing 1's three steps), alignment multiplies
+//! appearing exactly when scales differ, and `div_big` only for ÷/%.
+
+use up_gpusim::disasm;
+use up_jit::cache::{Compiled, JitEngine, JitOptions};
+use up_jit::Expr;
+use up_num::DecimalType;
+
+fn ty(p: u32, s: u32) -> DecimalType {
+    DecimalType::new_unchecked(p, s)
+}
+
+fn kernel_of(e: &Expr, opts: JitOptions) -> up_jit::CompiledExpr {
+    let mut jit = JitEngine::new(opts);
+    let (c, _) = jit.compile(e);
+    match c {
+        Compiled::Kernel(k) => (*k).clone(),
+        other => panic!("expected kernel, got {other:?}"),
+    }
+}
+
+#[test]
+fn same_scale_add_has_carry_chain_but_no_multiply() {
+    // Two (17,2) columns: LEN 2 result, no alignment → add.cc + addc.cc,
+    // zero mul instructions.
+    let e = Expr::col(0, ty(17, 2), "a").add(Expr::col(1, ty(17, 2), "b"));
+    let k = kernel_of(&e, JitOptions::none());
+    let h = disasm::histogram(&k.kernel);
+    assert!(h.get("add.cc").copied().unwrap_or(0) >= 1, "{h:?}");
+    assert!(h.get("addc.cc").copied().unwrap_or(0) >= 1, "{h:?}");
+    assert_eq!(h.get("mul.hi"), None, "no alignment ⇒ no wide multiply: {h:?}");
+    assert_eq!(h.get("div_big"), None);
+    // Listing 1's three steps: byte loads (expand) and byte stores
+    // (compact write-back) both present.
+    assert!(h.get("ld.global").copied().unwrap_or(0) >= 2 * ty(17, 2).lb());
+    assert!(h.get("st.global").copied().unwrap_or(0) >= k.out_ty.lb());
+}
+
+#[test]
+fn carry_chain_length_tracks_lw() {
+    // The addc chain grows with the result word count, exactly like the
+    // #pragma-unrolled loop of Listing 2.
+    let count_addc = |p: u32| {
+        let e = Expr::col(0, ty(p, 2), "a").add(Expr::col(1, ty(p, 2), "b"));
+        let k = kernel_of(&e, JitOptions::none());
+        disasm::histogram(&k.kernel).get("addc.cc").copied().unwrap_or(0)
+    };
+    let small = count_addc(17); // LEN 2 (chain of 2 words)
+    let large = count_addc(150); // LEN 16 (chain of 16 words)
+    assert!(large > 4 * small, "addc count must scale with Lw: {small} vs {large}");
+}
+
+#[test]
+fn mixed_scales_introduce_alignment_multiplies() {
+    let same = Expr::col(0, ty(17, 2), "a").add(Expr::col(1, ty(17, 2), "b"));
+    let mixed = Expr::col(0, ty(17, 2), "a").add(Expr::col(1, ty(17, 9), "b"));
+    let h_same = disasm::histogram(&kernel_of(&same, JitOptions::none()).kernel);
+    let h_mixed = disasm::histogram(&kernel_of(&mixed, JitOptions::none()).kernel);
+    assert_eq!(h_same.get("mul.hi"), None);
+    assert!(
+        h_mixed.get("mul.hi").copied().unwrap_or(0) > 0,
+        "alignment is a multiplication (§III-D1): {h_mixed:?}"
+    );
+}
+
+#[test]
+fn division_uses_the_macro_op_and_modulo_truncates() {
+    let div = Expr::col(0, ty(12, 4), "a").div(Expr::col(1, ty(12, 2), "b"));
+    let h = disasm::histogram(&kernel_of(&div, JitOptions::none()).kernel);
+    assert_eq!(h.get("div_big").copied().unwrap_or(0), 1, "{h:?}");
+    let rem = Expr::col(0, ty(12, 4), "a").rem(Expr::col(1, ty(12, 2), "b"));
+    let h = disasm::histogram(&kernel_of(&rem, JitOptions::none()).kernel);
+    assert_eq!(h.get("rem_big").copied().unwrap_or(0), 1);
+    // Truncating the scale-4 and scale-2 operands needs two div_big calls.
+    assert_eq!(h.get("div_big").copied().unwrap_or(0), 2, "{h:?}");
+}
+
+#[test]
+fn disassembly_of_listing1_kernel_is_stable() {
+    let e = Expr::col(0, ty(4, 2), "c1_4_2").add(Expr::col(1, ty(4, 1), "c2_4_1"));
+    let k = kernel_of(&e, JitOptions::default());
+    let text = disasm::disassemble(&k.kernel);
+    for needle in [
+        ".visible .entry calc_expr_1()",
+        "mov.u32         %r0, %tid.x;",
+        "ld.param.u32",
+        "while %p0",
+        "ld.global.u8",
+        "st.global.u8",
+        "add.cc.u32",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn optimized_kernels_never_grow() {
+    // Across a set of expressions, turning the §III-D pipeline on must
+    // never increase the static instruction count.
+    let a = || Expr::col(0, ty(20, 1), "a");
+    let b = || Expr::col(1, ty(20, 9), "b");
+    let exprs = vec![
+        a().add(b()).add(a()).add(a()),
+        Expr::lit("1").unwrap().add(a()).add(Expr::lit("2").unwrap()),
+        Expr::lit("0.25").unwrap().mul(a().add(b())).mul(Expr::lit("4").unwrap()),
+        a().mul(b()).sub(a()),
+    ];
+    for e in exprs {
+        let raw = kernel_of(&e, JitOptions::none()).kernel.static_inst_count();
+        let opt = kernel_of(&e, JitOptions::default()).kernel.static_inst_count();
+        assert!(opt <= raw, "{opt} > {raw} for {e:?}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic random data generation for decimal columns.
+//!
+//! The evaluation populates relations with "randomly generated" DECIMAL
+//! data (§IV "Workloads"). Everything here is seeded so every harness run
+//! reproduces the same bytes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use up_num::{BigInt, DecimalType, Sign, UpDecimal};
+
+/// Seeded RNG for a named workload stream.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A uniformly random unscaled magnitude of exactly ≤ `digits` decimal
+/// digits (values use the full digit budget about 90% of the time, like
+/// dbgen's uniform columns).
+pub fn random_unscaled(r: &mut StdRng, digits: u32) -> BigInt {
+    debug_assert!(digits >= 1);
+    // Build digit-by-digit to stay unbiased at any width.
+    let mut s = String::with_capacity(digits as usize);
+    for i in 0..digits {
+        let d = if i == 0 { r.gen_range(1..=9) } else { r.gen_range(0..=9) };
+        s.push(char::from_digit(d, 10).expect("digit"));
+    }
+    BigInt::parse_dec(&s).expect("digits parse")
+}
+
+/// A random decimal of type `ty` whose magnitude uses `digits ≤ p`
+/// digits; signs are ±1 with equal probability when `signed`.
+pub fn random_decimal(r: &mut StdRng, ty: DecimalType, digits: u32, signed: bool) -> UpDecimal {
+    let mag = random_unscaled(r, digits.clamp(1, ty.precision));
+    let neg = signed && r.gen_bool(0.5);
+    let int = BigInt::from_sign_mag(if neg { Sign::Minus } else { Sign::Plus }, mag.mag().to_vec());
+    UpDecimal::from_parts(int, ty).expect("digits clamped to precision")
+}
+
+/// A column of random decimals. `headroom` digits are left unused so that
+/// sums and products of the evaluation's expressions stay inside the
+/// §III-B3 inferred types.
+pub fn random_decimal_column(
+    n: usize,
+    ty: DecimalType,
+    headroom: u32,
+    signed: bool,
+    seed: u64,
+) -> Vec<UpDecimal> {
+    let digits = ty.precision.saturating_sub(headroom).max(1);
+    let mut r = rng(seed);
+    (0..n).map(|_| random_decimal(&mut r, ty, digits, signed)).collect()
+}
+
+/// Standard normal samples via Box–Muller (no external distribution
+/// crates needed).
+pub fn normal_f64(r: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = r.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = r.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// A DECIMAL(9,8)-style column of radians around `mean` with σ = `std` —
+/// the Fig. 15 input distributions N(0.01, 0.01²), N(0.78, 0.01²),
+/// N(1.56, 0.01²). Values are clamped into the type's range.
+pub fn normal_radian_column(
+    n: usize,
+    ty: DecimalType,
+    mean: f64,
+    std: f64,
+    seed: u64,
+) -> Vec<UpDecimal> {
+    let mut r = rng(seed);
+    let max = 10f64.powi(ty.int_digits() as i32) - 10f64.powi(-(ty.scale as i32));
+    (0..n)
+        .map(|_| {
+            let x = normal_f64(&mut r, mean, std).clamp(0.0, max);
+            UpDecimal::from_f64(x, ty).expect("clamped into range")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(p: u32, s: u32) -> DecimalType {
+        DecimalType::new_unchecked(p, s)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_decimal_column(100, ty(17, 5), 2, true, 42);
+        let b = random_decimal_column(100, ty(17, 5), 2, true, 42);
+        assert_eq!(a, b);
+        let c = random_decimal_column(100, ty(17, 5), 2, true, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_respect_digit_budget() {
+        let col = random_decimal_column(500, ty(17, 5), 3, true, 7);
+        for v in &col {
+            assert!(v.unscaled().dec_digits() <= 14, "{v:?}");
+            assert!(!v.is_zero());
+        }
+        // Signed generation produces both signs.
+        assert!(col.iter().any(|v| v.unscaled().is_negative()));
+        assert!(col.iter().any(|v| !v.unscaled().is_negative()));
+    }
+
+    #[test]
+    fn normal_radians_cluster_near_mean() {
+        let col = normal_radian_column(2000, ty(9, 8), 0.78, 0.01, 11);
+        let mean: f64 = col.iter().map(UpDecimal::to_f64).sum::<f64>() / col.len() as f64;
+        assert!((mean - 0.78).abs() < 0.002, "mean {mean}");
+        let var: f64 = col
+            .iter()
+            .map(|v| (v.to_f64() - mean).powi(2))
+            .sum::<f64>()
+            / col.len() as f64;
+        assert!((var.sqrt() - 0.01).abs() < 0.002, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn wide_precision_generation() {
+        let t = ty(281, 101);
+        let col = random_decimal_column(10, t, 5, true, 3);
+        for v in &col {
+            assert!(v.unscaled().dec_digits() <= 276);
+            assert!(v.unscaled().dec_digits() >= 270);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! # up-workloads — data and query generators for the evaluation
+//!
+//! Deterministic generators for everything §IV runs: random decimal
+//! columns ([`datagen`]), a scaled-down TPC-H with the Fig. 14(b)
+//! precision extension and the Table I query suite ([`tpch`]),
+//! RSA-encryption-in-SQL with real Miller–Rabin keys ([`rsa`]),
+//! Taylor-series trigonometry with exact ground truth ([`trig`]), and
+//! frame-of-reference compression for the Q1 case study
+//! ([`compression`]).
+
+pub mod compression;
+pub mod datagen;
+pub mod rsa;
+pub mod tpch;
+pub mod trig;

@@ -1,0 +1,244 @@
+//! RSA-encryption-in-SQL — the §IV-D3 workload (Query 4, Fig. 14(c)).
+//!
+//! `SELECT c1 * c1 % N * c1 % N FROM R4` encrypts the message column with
+//! the public exponent e = 3: the expression computes `((c1² mod N)·c1)
+//! mod N = c1³ mod N`. The paper generates four versions of `R4` with
+//! message precisions 17/35/71/143 and moduli of precisions 18/36/72/144.
+//!
+//! The moduli here are genuine semiprimes: two primes near
+//! `10^(k/2)` found with a deterministic Miller–Rabin search, so the
+//! workload is a real RSA setup, not just a modulo benchmark.
+
+use crate::datagen;
+use up_num::{BigInt, DecimalType, UpDecimal};
+
+/// The message precisions of the four `R4` versions.
+pub const MESSAGE_PRECISIONS: [u32; 4] = [17, 35, 71, 143];
+
+/// Modulus precision for a message precision (paper: 18/36/72/144).
+pub fn modulus_precision(message_p: u32) -> u32 {
+    message_p + 1
+}
+
+/// Deterministic Miller–Rabin primality test with the standard witness
+/// set (sufficient for all n < 3.3·10²⁴; overwhelming confidence above).
+pub fn is_probable_prime(n: &BigInt) -> bool {
+    let two = BigInt::from(2i64);
+    if n.cmp_signed(&two) == core::cmp::Ordering::Less {
+        return false;
+    }
+    // Quick small-prime sieve.
+    for p in [2i64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let bp = BigInt::from(p);
+        match n.cmp_signed(&bp) {
+            core::cmp::Ordering::Equal => return true,
+            core::cmp::Ordering::Greater => {
+                if n.rem(&bp).is_zero() {
+                    return false;
+                }
+            }
+            core::cmp::Ordering::Less => return false,
+        }
+    }
+    // n − 1 = d · 2^r with d odd.
+    let n_minus_1 = n.sub(&BigInt::one());
+    let mut d = n_minus_1.clone();
+    let mut r = 0u32;
+    while !d.is_zero() && !up_num::limbs::get_bit(d.mag(), 0) {
+        d = d.div(&two);
+        r += 1;
+    }
+    'witness: for a in [2i64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let a = BigInt::from(a);
+        let mut x = a.mod_pow_big(&d, n);
+        if x == BigInt::one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = x.mul(&x).rem(n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// First probable prime ≥ `start` (odd-stepping search).
+pub fn next_prime(start: &BigInt) -> BigInt {
+    let one = BigInt::one();
+    let two = BigInt::from(2i64);
+    let mut n = start.clone();
+    if !up_num::limbs::get_bit(n.mag(), 0) {
+        n = n.add(&one);
+    }
+    loop {
+        if is_probable_prime(&n) {
+            return n;
+        }
+        n = n.add(&two);
+    }
+}
+
+/// An RSA public key `(e, N)` with `N = p·q`.
+#[derive(Clone, Debug)]
+pub struct RsaKey {
+    /// Public exponent (the paper uses 3).
+    pub e: u32,
+    /// Modulus.
+    pub n: BigInt,
+    /// Prime factor p (kept for tests).
+    pub p: BigInt,
+    /// Prime factor q.
+    pub q: BigInt,
+}
+
+/// Generates a deterministic key whose modulus has roughly
+/// `modulus_digits` decimal digits: p, q are the first primes at or above
+/// 10^⌈k/2⌉·(1 + small offsets).
+pub fn gen_key(modulus_digits: u32) -> RsaKey {
+    let half = modulus_digits / 2;
+    let base_p = BigInt::from(3u64).mul(&pow10(half.saturating_sub(1))); // ~3·10^(h-1)
+    let base_q = BigInt::from(7u64).mul(&pow10(modulus_digits - half - 1));
+    let p = next_prime(&base_p.add(&BigInt::from(11u64)));
+    let q = next_prime(&base_q.add(&BigInt::from(17u64)));
+    RsaKey { e: 3, n: p.mul(&q), p, q }
+}
+
+fn pow10(k: u32) -> BigInt {
+    BigInt::one().mul_pow10(k)
+}
+
+/// Encrypts one message: `X^e mod N`.
+pub fn encrypt(key: &RsaKey, msg: &BigInt) -> BigInt {
+    msg.mod_pow(key.e, &key.n)
+}
+
+/// The Query 4 SQL string for a given modulus literal.
+pub fn query4_sql(n: &BigInt) -> String {
+    format!("SELECT c1 * c1 % {n} * c1 % {n} FROM r4")
+}
+
+/// One experiment size: the message column, its type, and the key.
+pub struct RsaWorkload {
+    /// Message column type `DECIMAL(p, 0)`.
+    pub msg_ty: DecimalType,
+    /// Modulus type `DECIMAL(p+1, 0)`.
+    pub mod_ty: DecimalType,
+    /// Key.
+    pub key: RsaKey,
+    /// Messages.
+    pub messages: Vec<UpDecimal>,
+}
+
+/// Builds the workload for a message precision (one of
+/// [`MESSAGE_PRECISIONS`]).
+pub fn build(message_p: u32, n_msgs: usize, seed: u64) -> RsaWorkload {
+    let msg_ty = DecimalType::new_unchecked(message_p, 0);
+    let mod_p = modulus_precision(message_p);
+    let mod_ty = DecimalType::new_unchecked(mod_p, 0);
+    let key = gen_key(mod_p);
+    let messages = datagen::random_decimal_column(n_msgs, msg_ty, 1, false, seed);
+    RsaWorkload { msg_ty, mod_ty, key, messages }
+}
+
+/// CPU ground truth for a message column.
+pub fn ground_truth(w: &RsaWorkload) -> Vec<BigInt> {
+    w.messages.iter().map(|m| encrypt(&w.key, m.unscaled())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miller_rabin_agrees_with_known_primes() {
+        for p in [2i64, 3, 5, 97, 7919, 1_000_000_007, 1_000_000_009] {
+            assert!(is_probable_prime(&BigInt::from(p)), "{p}");
+        }
+        for c in [1i64, 4, 100, 7917, 1_000_000_007i64 * 3, 561 /* Carmichael */, 41041] {
+            assert!(!is_probable_prime(&BigInt::from(c)), "{c}");
+        }
+    }
+
+    #[test]
+    fn next_prime_steps_forward() {
+        assert_eq!(next_prime(&BigInt::from(90i64)), BigInt::from(97i64));
+        assert_eq!(next_prime(&BigInt::from(97i64)), BigInt::from(97i64));
+    }
+
+    #[test]
+    fn keys_have_the_requested_size() {
+        for mp in MESSAGE_PRECISIONS {
+            let key = gen_key(modulus_precision(mp));
+            let digits = key.n.dec_digits();
+            // p·q of the chosen magnitudes lands on k or k+1 digits.
+            assert!(
+                (modulus_precision(mp)..=modulus_precision(mp) + 1).contains(&digits),
+                "mp={mp} digits={digits}"
+            );
+            assert!(is_probable_prime(&key.p));
+            assert!(is_probable_prime(&key.q));
+            assert_eq!(key.p.mul(&key.q), key.n);
+        }
+    }
+
+    #[test]
+    fn sql_expression_computes_cube_mod_n() {
+        // ((x² mod N)·x) mod N == x³ mod N — the identity Query 4 uses.
+        let key = gen_key(18);
+        let x = BigInt::from(123_456_789_012_345i64);
+        let q4 = x.mul(&x).rem(&key.n).mul(&x).rem(&key.n);
+        assert_eq!(q4, encrypt(&key, &x));
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_typed() {
+        let w = build(17, 50, 9);
+        let w2 = build(17, 50, 9);
+        assert_eq!(w.messages, w2.messages);
+        assert_eq!(w.key.n.dec_digits(), w2.key.n.dec_digits());
+        assert_eq!(w.msg_ty, DecimalType::new_unchecked(17, 0));
+        for m in &w.messages {
+            assert_eq!(m.dtype().scale, 0);
+        }
+    }
+
+    #[test]
+    fn rsa_round_trip_with_private_key() {
+        // d = e⁻¹ mod λ(n); for e=3 compute d by brute Euler check on a
+        // small key to prove the pair is a working cryptosystem.
+        // e = 3 needs gcd(3, φ) = 1, i.e. primes ≡ 2 (mod 3).
+        let prime_2_mod_3 = |start: i64| {
+            let mut c = BigInt::from(start);
+            loop {
+                c = next_prime(&c);
+                if c.rem(&BigInt::from(3i64)) == BigInt::from(2i64) {
+                    return c;
+                }
+                c = c.add(&BigInt::from(2i64));
+            }
+        };
+        let p = prime_2_mod_3(1009);
+        let q = prime_2_mod_3(3001);
+        let n = p.mul(&q);
+        let phi = p.sub(&BigInt::one()).mul(&q.sub(&BigInt::one()));
+        // Find d with 3d ≡ 1 (mod phi) by scanning k: d = (k·phi + 1)/3.
+        let mut d = BigInt::zero();
+        for k in 1..10i64 {
+            let cand = phi.mul(&BigInt::from(k)).add(&BigInt::one());
+            let (q3, r3) = cand.div_rem(&BigInt::from(3i64));
+            if r3.is_zero() {
+                d = q3;
+                break;
+            }
+        }
+        assert!(!d.is_zero(), "e=3 invertible for this phi");
+        let key = RsaKey { e: 3, n: n.clone(), p, q };
+        let msg = BigInt::from(424242i64);
+        let c = encrypt(&key, &msg);
+        let back = c.mod_pow_big(&d, &n);
+        assert_eq!(back, msg);
+    }
+}

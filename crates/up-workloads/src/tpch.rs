@@ -1,0 +1,578 @@
+//! A scaled-down TPC-H data generator and the Table I query suite.
+//!
+//! The evaluation runs TPC-H Q1 with extended decimal precisions
+//! (Fig. 14(b)) and Q2–Q22 to confirm queries without high-precision
+//! DECIMAL are not impaired (Table I). This module generates the eight
+//! tables deterministically at a configurable scale and provides the 21
+//! query texts in this engine's SQL subset.
+//!
+//! **Documented simplifications** (also indexed in DESIGN.md): queries
+//! with correlated/nested subqueries are rewritten as join/aggregate
+//! pipelines carrying the same decimal-arithmetic workload; CASE
+//! expressions are replaced by their dominant branch; Q18 and Q20 are
+//! explicitly two-phase (inner aggregation handed to an outer query),
+//! because that host-side decimal delivery is precisely what the paper
+//! blames for their regression ("delivering results of subqueries to the
+//! outer query is not JIT-based and our efficient representation cannot
+//! be applied").
+
+use crate::datagen;
+use rand::Rng;
+use up_engine::{ColumnType, Database, Schema, Value};
+use up_num::{DecimalType, UpDecimal};
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TpchConfig {
+    /// Lineitem rows (other tables scale off this).
+    pub lineitem_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional precision extension of `l_quantity` and
+    /// `l_extendedprice` (the Fig. 14(b) LEN sweep); `None` keeps the
+    /// original `DECIMAL(12, 2)`.
+    pub extended_precision: Option<u32>,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { lineitem_rows: 6000, seed: 19_920_401, extended_precision: None }
+    }
+}
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const RETURNFLAGS: [&str; 3] = ["R", "A", "N"];
+const TYPES: [&str; 6] = [
+    "ECONOMY ANODIZED STEEL",
+    "PROMO BURNISHED COPPER",
+    "STANDARD POLISHED TIN",
+    "SMALL PLATED BRASS",
+    "MEDIUM BRUSHED NICKEL",
+    "PROMO PLATED STEEL",
+];
+const CONTAINERS: [&str; 5] = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG", "WRAP BAG"];
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+fn dec(p: u32, s: u32) -> ColumnType {
+    ColumnType::Decimal(DecimalType::new_unchecked(p, s))
+}
+
+fn date(r: &mut rand::rngs::StdRng) -> String {
+    format!(
+        "{:04}-{:02}-{:02}",
+        r.gen_range(1992..=1998),
+        r.gen_range(1..=12),
+        r.gen_range(1..=28)
+    )
+}
+
+fn money(r: &mut rand::rngs::StdRng, max_units: i64) -> UpDecimal {
+    UpDecimal::from_scaled_i64(r.gen_range(100..max_units * 100), DecimalType::new_unchecked(12, 2))
+        .expect("fits (12,2)")
+}
+
+/// Populates all eight TPC-H tables into a database.
+pub fn load(db: &mut Database, cfg: TpchConfig) {
+    let mut r = datagen::rng(cfg.seed);
+    let n_li = cfg.lineitem_rows.max(100);
+    let n_orders = (n_li / 4).max(25);
+    let n_cust = (n_li / 40).max(10);
+    let n_part = (n_li / 30).max(10);
+    let n_supp = (n_li / 300).max(5);
+    let n_ps = n_part * 2;
+
+    // region / nation
+    db.create_table("region", Schema::new(vec![("r_regionkey", ColumnType::Int64), ("r_name", ColumnType::Str)]));
+    for (i, name) in REGIONS.iter().enumerate() {
+        db.insert("region", vec![Value::Int64(i as i64), Value::Str(name.to_string())]).unwrap();
+    }
+    db.create_table(
+        "nation",
+        Schema::new(vec![
+            ("n_nationkey", ColumnType::Int64),
+            ("n_name", ColumnType::Str),
+            ("n_regionkey", ColumnType::Int64),
+        ]),
+    );
+    for (i, (name, region)) in NATIONS.iter().enumerate() {
+        db.insert(
+            "nation",
+            vec![Value::Int64(i as i64), Value::Str(name.to_string()), Value::Int64(*region)],
+        )
+        .unwrap();
+    }
+
+    // supplier
+    db.create_table(
+        "supplier",
+        Schema::new(vec![
+            ("s_suppkey", ColumnType::Int64),
+            ("s_name", ColumnType::Str),
+            ("s_nationkey", ColumnType::Int64),
+            ("s_acctbal", dec(12, 2)),
+        ]),
+    );
+    for i in 0..n_supp {
+        db.insert(
+            "supplier",
+            vec![
+                Value::Int64(i as i64),
+                Value::Str(format!("Supplier#{i:09}")),
+                Value::Int64(r.gen_range(0..25)),
+                Value::Decimal(money(&mut r, 10_000)),
+            ],
+        )
+        .unwrap();
+    }
+
+    // customer
+    db.create_table(
+        "customer",
+        Schema::new(vec![
+            ("c_custkey", ColumnType::Int64),
+            ("c_name", ColumnType::Str),
+            ("c_nationkey", ColumnType::Int64),
+            ("c_mktsegment", ColumnType::Str),
+            ("c_acctbal", dec(12, 2)),
+        ]),
+    );
+    for i in 0..n_cust {
+        db.insert(
+            "customer",
+            vec![
+                Value::Int64(i as i64),
+                Value::Str(format!("Customer#{i:09}")),
+                Value::Int64(r.gen_range(0..25)),
+                Value::Str(SEGMENTS[r.gen_range(0..SEGMENTS.len())].to_string()),
+                Value::Decimal(
+                    UpDecimal::from_scaled_i64(
+                        r.gen_range(-99_999..999_999),
+                        DecimalType::new_unchecked(12, 2),
+                    )
+                    .expect("fits"),
+                ),
+            ],
+        )
+        .unwrap();
+    }
+
+    // part
+    db.create_table(
+        "part",
+        Schema::new(vec![
+            ("p_partkey", ColumnType::Int64),
+            ("p_name", ColumnType::Str),
+            ("p_brand", ColumnType::Str),
+            ("p_type", ColumnType::Str),
+            ("p_container", ColumnType::Str),
+            ("p_retailprice", dec(12, 2)),
+        ]),
+    );
+    let colors = ["green", "blue", "red", "ivory", "forest", "puff"];
+    for i in 0..n_part {
+        db.insert(
+            "part",
+            vec![
+                Value::Int64(i as i64),
+                Value::Str(format!(
+                    "{} {} part{}",
+                    colors[r.gen_range(0..colors.len())],
+                    colors[r.gen_range(0..colors.len())],
+                    i
+                )),
+                Value::Str(format!("Brand#{}{}", r.gen_range(1..=5), r.gen_range(1..=5))),
+                Value::Str(TYPES[r.gen_range(0..TYPES.len())].to_string()),
+                Value::Str(CONTAINERS[r.gen_range(0..CONTAINERS.len())].to_string()),
+                Value::Decimal(money(&mut r, 2_000)),
+            ],
+        )
+        .unwrap();
+    }
+
+    // partsupp
+    db.create_table(
+        "partsupp",
+        Schema::new(vec![
+            ("ps_partkey", ColumnType::Int64),
+            ("ps_suppkey", ColumnType::Int64),
+            ("ps_availqty", ColumnType::Int64),
+            ("ps_supplycost", dec(12, 2)),
+        ]),
+    );
+    for i in 0..n_ps {
+        db.insert(
+            "partsupp",
+            vec![
+                Value::Int64((i % n_part) as i64),
+                Value::Int64(r.gen_range(0..n_supp) as i64),
+                Value::Int64(r.gen_range(1..10_000)),
+                Value::Decimal(money(&mut r, 1_000)),
+            ],
+        )
+        .unwrap();
+    }
+
+    // orders
+    db.create_table(
+        "orders",
+        Schema::new(vec![
+            ("o_orderkey", ColumnType::Int64),
+            ("o_custkey", ColumnType::Int64),
+            ("o_orderstatus", ColumnType::Str),
+            ("o_totalprice", dec(12, 2)),
+            ("o_orderdate", ColumnType::Str),
+            ("o_orderpriority", ColumnType::Str),
+        ]),
+    );
+    for i in 0..n_orders {
+        db.insert(
+            "orders",
+            vec![
+                Value::Int64(i as i64),
+                Value::Int64(r.gen_range(0..n_cust) as i64),
+                Value::Str(if r.gen_bool(0.5) { "F" } else { "O" }.to_string()),
+                Value::Decimal(money(&mut r, 500_000)),
+                Value::Str(date(&mut r)),
+                Value::Str(PRIORITIES[r.gen_range(0..PRIORITIES.len())].to_string()),
+            ],
+        )
+        .unwrap();
+    }
+
+    // lineitem — the decimal-heavy table. Quantity/extendedprice types
+    // follow the Fig. 14(b) extension when configured.
+    let (qty_ty, price_ty) = lineitem_decimal_types(cfg.extended_precision);
+    db.create_table(
+        "lineitem",
+        Schema::new(vec![
+            ("l_orderkey", ColumnType::Int64),
+            ("l_partkey", ColumnType::Int64),
+            ("l_suppkey", ColumnType::Int64),
+            ("l_quantity", ColumnType::Decimal(qty_ty)),
+            ("l_extendedprice", ColumnType::Decimal(price_ty)),
+            ("l_discount", dec(3, 2)),
+            ("l_tax", dec(3, 2)),
+            ("l_returnflag", ColumnType::Str),
+            ("l_linestatus", ColumnType::Str),
+            ("l_shipdate", ColumnType::Str),
+            ("l_commitdate", ColumnType::Str),
+            ("l_receiptdate", ColumnType::Str),
+            ("l_shipmode", ColumnType::Str),
+        ]),
+    );
+    let qty_digits = qty_ty.precision.min(qty_ty.int_digits().min(2) + qty_ty.scale);
+    let price_digits = price_ty.precision.saturating_sub(4).max(3);
+    for i in 0..n_li {
+        let qty = datagen::random_decimal(&mut r, qty_ty, qty_digits, false);
+        let price = datagen::random_decimal(&mut r, price_ty, price_digits, false);
+        db.insert(
+            "lineitem",
+            vec![
+                Value::Int64(r.gen_range(0..n_orders) as i64),
+                Value::Int64(r.gen_range(0..n_part) as i64),
+                Value::Int64(r.gen_range(0..n_supp) as i64),
+                Value::Decimal(qty),
+                Value::Decimal(price),
+                Value::Decimal(
+                    UpDecimal::from_scaled_i64(r.gen_range(0..=10), DecimalType::new_unchecked(3, 2))
+                        .expect("≤ 0.10"),
+                ),
+                Value::Decimal(
+                    UpDecimal::from_scaled_i64(r.gen_range(0..=8), DecimalType::new_unchecked(3, 2))
+                        .expect("≤ 0.08"),
+                ),
+                Value::Str(RETURNFLAGS[r.gen_range(0..RETURNFLAGS.len())].to_string()),
+                Value::Str(if r.gen_bool(0.5) { "O" } else { "F" }.to_string()),
+                Value::Str(date(&mut r)),
+                Value::Str(date(&mut r)),
+                Value::Str(date(&mut r)),
+                Value::Str(SHIPMODES[r.gen_range(0..SHIPMODES.len())].to_string()),
+            ],
+        )
+        .unwrap();
+        let _ = i;
+    }
+}
+
+/// `(l_quantity, l_extendedprice)` types for a precision extension: with
+/// `Some(p)` the columns widen so Q1's aggregates land on the LEN series;
+/// `None` keeps TPC-H's original `DECIMAL(12, 2)`.
+pub fn lineitem_decimal_types(extended: Option<u32>) -> (DecimalType, DecimalType) {
+    match extended {
+        None => (DecimalType::new_unchecked(12, 2), DecimalType::new_unchecked(12, 2)),
+        Some(p) => {
+            let p = p.max(6);
+            let scale = (p / 3).min(p - 2);
+            (DecimalType::new_unchecked(p, scale), DecimalType::new_unchecked(p, scale))
+        }
+    }
+}
+
+/// TPC-H Q1 in this engine's subset (the original shape; the paper's
+/// extended-precision variants change only the column types).
+pub fn q1_sql() -> &'static str {
+    "SELECT l_returnflag, l_linestatus, \
+     SUM(l_quantity) AS sum_qty, \
+     SUM(l_extendedprice) AS sum_base_price, \
+     SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+     SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+     AVG(l_quantity) AS avg_qty, \
+     AVG(l_extendedprice) AS avg_price, \
+     COUNT(*) AS count_order \
+     FROM lineitem WHERE l_shipdate <= '1998-09-02' \
+     GROUP BY l_returnflag, l_linestatus \
+     ORDER BY l_returnflag, l_linestatus"
+}
+
+/// One Table I workload.
+#[derive(Clone, Debug)]
+pub struct TpchQuery {
+    /// TPC-H query number (2–22).
+    pub id: u32,
+    /// The SQL (phase 1 for two-phase queries).
+    pub sql: String,
+    /// Whether a host-side handoff to a second phase exists (Q18, Q20 —
+    /// the non-JIT subquery-delivery path the paper calls out).
+    pub two_phase: bool,
+    /// What was simplified relative to the official query.
+    pub note: &'static str,
+}
+
+/// The Table I suite (Q2–Q22).
+pub fn table1_queries() -> Vec<TpchQuery> {
+    let q = |id: u32, sql: &str, two_phase: bool, note: &'static str| TpchQuery {
+        id,
+        sql: sql.to_string(),
+        two_phase,
+        note,
+    };
+    vec![
+        q(2, "SELECT MIN(ps_supplycost) FROM partsupp \
+              JOIN supplier ON ps_suppkey = s_suppkey \
+              JOIN nation ON s_nationkey = n_nationkey \
+              JOIN region ON n_regionkey = r_regionkey \
+              WHERE r_name = 'EUROPE'", false,
+          "correlated min-cost subquery reduced to its aggregate core"),
+        q(3, "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+              JOIN customer ON o_custkey = c_custkey \
+              WHERE c_mktsegment = 'BUILDING' AND o_orderdate < '1995-03-15' \
+              AND l_shipdate > '1995-03-15' \
+              GROUP BY l_orderkey ORDER BY revenue DESC LIMIT 10", false,
+          "o_shippriority column dropped from the output"),
+        q(4, "SELECT o_orderpriority, COUNT(*) AS order_count FROM orders \
+              WHERE o_orderdate >= '1993-07-01' AND o_orderdate < '1993-10-01' \
+              GROUP BY o_orderpriority ORDER BY o_orderpriority", false,
+          "EXISTS(lineitem) precondition dropped"),
+        q(5, "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+              JOIN customer ON o_custkey = c_custkey \
+              JOIN supplier ON l_suppkey = s_suppkey \
+              JOIN nation ON s_nationkey = n_nationkey \
+              JOIN region ON n_regionkey = r_regionkey \
+              WHERE r_name = 'ASIA' AND c_nationkey = s_nationkey \
+              AND o_orderdate >= '1994-01-01' AND o_orderdate < '1995-01-01' \
+              GROUP BY n_name ORDER BY revenue DESC", false, "faithful"),
+        q(6, "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+              WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' \
+              AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24", false,
+          "faithful"),
+        q(7, "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM lineitem JOIN supplier ON l_suppkey = s_suppkey \
+              JOIN nation ON s_nationkey = n_nationkey \
+              WHERE l_shipdate >= '1995-01-01' AND l_shipdate <= '1996-12-31' \
+              GROUP BY n_name ORDER BY n_name", false,
+          "nation-pair/year matrix reduced to supplier-nation revenue"),
+        q(8, "SELECT SUM(CASE WHEN n_name = 'BRAZIL' THEN l_extendedprice * (1 - l_discount) ELSE 0 END) \
+              / SUM(l_extendedprice * (1 - l_discount)) AS mkt_share \
+              FROM lineitem JOIN part ON l_partkey = p_partkey \
+              JOIN supplier ON l_suppkey = s_suppkey \
+              JOIN nation ON s_nationkey = n_nationkey \
+              WHERE p_type = 'ECONOMY ANODIZED STEEL'", false,
+          "market share via CASE, supplier nation (order-year grouping dropped)"),
+        q(9, "SELECT n_name, SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS profit \
+              FROM lineitem \
+              JOIN partsupp ON l_partkey = ps_partkey AND l_suppkey = ps_suppkey \
+              JOIN part ON l_partkey = p_partkey \
+              JOIN supplier ON l_suppkey = s_suppkey \
+              JOIN nation ON s_nationkey = n_nationkey \
+              WHERE p_name LIKE '%green%' \
+              GROUP BY n_name ORDER BY n_name", false,
+          "order-year grouping dropped"),
+        q(10, "SELECT c_custkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+               FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+               JOIN customer ON o_custkey = c_custkey \
+               WHERE o_orderdate >= '1993-10-01' AND o_orderdate < '1994-01-01' \
+               AND l_returnflag = 'R' \
+               GROUP BY c_custkey ORDER BY revenue DESC LIMIT 20", false,
+          "customer detail columns reduced to the key"),
+        q(11, "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value \
+               FROM partsupp JOIN supplier ON ps_suppkey = s_suppkey \
+               JOIN nation ON s_nationkey = n_nationkey \
+               WHERE n_name = 'GERMANY' \
+               GROUP BY ps_partkey HAVING value > 1000 ORDER BY value DESC", false,
+          "HAVING threshold constant instead of the global-sum fraction"),
+        q(12, "SELECT l_shipmode, \
+               SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, \
+               SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count \
+               FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+               WHERE (l_shipmode = 'MAIL' OR l_shipmode = 'SHIP') \
+               AND l_receiptdate >= '1994-01-01' AND l_receiptdate < '1995-01-01' \
+               GROUP BY l_shipmode ORDER BY l_shipmode", false,
+          "faithful (commit/receipt-date conjuncts simplified)"),
+        q(13, "SELECT o_custkey, COUNT(*) AS c_count FROM orders \
+               GROUP BY o_custkey ORDER BY c_count DESC LIMIT 20", false,
+          "outer join + nested regrouping reduced to the inner count"),
+        q(14, "SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount) ELSE 0 END) \
+               / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue \
+               FROM lineitem JOIN part ON l_partkey = p_partkey \
+               WHERE l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01'", false,
+          "faithful"),
+        q(15, "SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue \
+               FROM lineitem WHERE l_shipdate >= '1996-01-01' AND l_shipdate < '1996-04-01' \
+               GROUP BY l_suppkey ORDER BY total_revenue DESC LIMIT 1", false,
+          "revenue view + max-subquery collapsed to ORDER BY … LIMIT 1"),
+        q(16, "SELECT p_brand, p_type, COUNT(DISTINCT ps_suppkey) AS supplier_cnt \
+               FROM partsupp JOIN part ON ps_partkey = p_partkey \
+               WHERE p_brand <> 'Brand#45' \
+               GROUP BY p_brand, p_type ORDER BY supplier_cnt DESC LIMIT 20", false,
+          "faithful (size/NOT-IN conjuncts dropped)"),
+        q(17, "SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly FROM lineitem \
+               JOIN part ON l_partkey = p_partkey \
+               WHERE p_brand = 'Brand#23' AND p_container = 'MED BOX' \
+               AND l_quantity < 5", false,
+          "per-part 0.2·avg(quantity) correlation replaced by a constant threshold"),
+        q(18, "SELECT l_orderkey, SUM(l_quantity) AS qty FROM lineitem \
+               GROUP BY l_orderkey ORDER BY qty DESC LIMIT 100", true,
+          "phase 1 of the large-order detection; the qty column is handed \
+           to the host and re-joined — the non-JIT decimal delivery path"),
+        q(19, "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+               FROM lineitem JOIN part ON l_partkey = p_partkey \
+               WHERE (p_brand = 'Brand#12' AND l_quantity BETWEEN 1 AND 11) \
+               OR (p_brand = 'Brand#23' AND l_quantity BETWEEN 10 AND 20) \
+               OR (p_brand = 'Brand#34' AND l_quantity BETWEEN 20 AND 30)", false,
+          "container/shipmode conjuncts dropped from each branch"),
+        q(20, "SELECT ps_suppkey, SUM(ps_availqty) AS avail FROM partsupp \
+               JOIN part ON ps_partkey = p_partkey \
+               WHERE p_name LIKE 'forest%' \
+               GROUP BY ps_suppkey ORDER BY avail DESC LIMIT 50", true,
+          "phase 1 of the excess-stock detection; supplier filter happens \
+           on the host with the delivered decimals"),
+        q(21, "SELECT s_name, COUNT(*) AS numwait \
+               FROM lineitem JOIN supplier ON l_suppkey = s_suppkey \
+               JOIN orders ON l_orderkey = o_orderkey \
+               JOIN nation ON s_nationkey = n_nationkey \
+               WHERE o_orderstatus = 'F' AND n_name = 'SAUDI ARABIA' \
+               AND l_receiptdate > l_commitdate \
+               GROUP BY s_name ORDER BY numwait DESC LIMIT 20", false,
+          "EXISTS/NOT EXISTS multi-supplier checks dropped"),
+        q(22, "SELECT n_name, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal \
+               FROM customer JOIN nation ON c_nationkey = n_nationkey \
+               WHERE c_acctbal > 0 \
+               GROUP BY n_name ORDER BY n_name", false,
+          "phone-prefix buckets replaced by nation grouping"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use up_engine::Profile;
+
+    #[test]
+    fn load_produces_consistent_tables() {
+        let mut db = Database::new(Profile::UltraPrecise);
+        load(&mut db, TpchConfig { lineitem_rows: 500, seed: 1, extended_precision: None });
+        for t in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"] {
+            assert!(db.table(t).is_some(), "{t}");
+            assert!(db.table(t).unwrap().rows > 0, "{t}");
+        }
+        assert_eq!(db.table("region").unwrap().rows, 5);
+        assert_eq!(db.table("nation").unwrap().rows, 25);
+        assert_eq!(db.table("lineitem").unwrap().rows, 500);
+    }
+
+    #[test]
+    fn q1_runs_and_groups_by_flags() {
+        let mut db = Database::new(Profile::UltraPrecise);
+        load(&mut db, TpchConfig { lineitem_rows: 400, seed: 2, extended_precision: None });
+        let r = db.query(q1_sql()).unwrap();
+        // 3 return flags × 2 statuses = up to 6 groups.
+        assert!((1..=6).contains(&r.rows.len()), "{} groups", r.rows.len());
+        assert_eq!(r.columns.len(), 9);
+        // count_order sums to the filtered row count.
+        let total: i64 = r
+            .rows
+            .iter()
+            .map(|row| match row[8] {
+                Value::Int64(n) => n,
+                _ => panic!(),
+            })
+            .sum();
+        assert!(total > 0 && total <= 400);
+    }
+
+    #[test]
+    fn extended_precision_changes_len() {
+        let (q, p) = lineitem_decimal_types(Some(35));
+        assert_eq!(q.precision, 35);
+        assert_eq!(p.precision, 35);
+        assert!(q.scale < q.precision);
+        let (q0, _) = lineitem_decimal_types(None);
+        assert_eq!(q0, DecimalType::new_unchecked(12, 2));
+    }
+
+    #[test]
+    fn all_table1_queries_parse_and_run() {
+        let mut db = Database::new(Profile::UltraPrecise);
+        load(&mut db, TpchConfig { lineitem_rows: 600, seed: 3, extended_precision: None });
+        for q in table1_queries() {
+            let r = db.query(&q.sql);
+            assert!(r.is_ok(), "Q{}: {:?}", q.id, r.err());
+        }
+    }
+
+    #[test]
+    fn q6_returns_plausible_revenue() {
+        let mut db = Database::new(Profile::UltraPrecise);
+        load(&mut db, TpchConfig { lineitem_rows: 2000, seed: 4, extended_precision: None });
+        let q6 = &table1_queries()[4];
+        assert_eq!(q6.id, 6);
+        let r = db.query(&q6.sql).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Cross-check against a manual scan.
+        let t = db.table("lineitem").unwrap();
+        let ship_idx = t.schema.index_of("l_shipdate").unwrap();
+        let qty_idx = t.schema.index_of("l_quantity").unwrap();
+        let price_idx = t.schema.index_of("l_extendedprice").unwrap();
+        let disc_idx = t.schema.index_of("l_discount").unwrap();
+        let mut expect = 0.0f64;
+        for i in 0..t.rows {
+            let up_engine::ColumnData::Str(dates) = &t.columns[ship_idx] else { panic!() };
+            let d = dates[i].as_str();
+            let qty = t.columns[qty_idx].get_decimal(i).to_f64();
+            let disc = t.columns[disc_idx].get_decimal(i).to_f64();
+            if ("1994-01-01".."1995-01-01").contains(&d)
+                && (0.05 - 1e-9..=0.07 + 1e-9).contains(&disc)
+                && qty < 24.0
+            {
+                expect += t.columns[price_idx].get_decimal(i).to_f64() * disc;
+            }
+        }
+        match &r.rows[0][0] {
+            Value::Decimal(d) => assert!((d.to_f64() - expect).abs() < 1e-6, "{d} vs {expect}"),
+            Value::Null => assert_eq!(expect, 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Trigonometric-function approximation in SQL — §IV-D4, Fig. 15.
+//!
+//! `sin(x)` is approximated with its Taylor series
+//! `x − x³/3! + x⁵/5! − …` written as a SQL expression over a
+//! `DECIMAL(9, 8)` radian column (Query 5). The harness sweeps the
+//! polynomial from 2 to 11 terms and three input distributions
+//! (N(0.01, 0.01²), N(0.78, 0.01²), N(1.56, 0.01²)) and reports execution
+//! time against mean absolute error. Ground truth comes from the same
+//! series evaluated in exact integer arithmetic at ≥ 300 fractional
+//! digits — the role GMP plays in the paper ("we calculate the ground
+//! truth results until 287 digits after the decimal point").
+
+use up_num::{BigInt, DecimalType, UpDecimal};
+
+/// The input radian column type used throughout Fig. 15.
+pub fn radian_type() -> DecimalType {
+    DecimalType::new_unchecked(9, 8)
+}
+
+/// The three input regimes of Fig. 15.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Regime {
+    /// x ≈ 0.01 — extremely small angles (the underflow case).
+    NearZero,
+    /// x ≈ 0.78 ≈ π/4.
+    NearQuarterPi,
+    /// x ≈ 1.56 ≈ π/2.
+    NearHalfPi,
+}
+
+impl Regime {
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Regime::NearZero => 0.01,
+            Regime::NearQuarterPi => 0.78,
+            Regime::NearHalfPi => 1.56,
+        }
+    }
+
+    /// Column name used by the paper (`c1`, `c2`, `c3`).
+    pub fn column(&self) -> &'static str {
+        match self {
+            Regime::NearZero => "c1",
+            Regime::NearQuarterPi => "c2",
+            Regime::NearHalfPi => "c3",
+        }
+    }
+
+    /// All regimes.
+    pub const ALL: [Regime; 3] = [Regime::NearZero, Regime::NearQuarterPi, Regime::NearHalfPi];
+}
+
+/// `(2i+1)!` as a decimal string — the Taylor denominators (6, 120, 5040,
+/// … beyond u64 after 21!).
+pub fn odd_factorial(i: u32) -> BigInt {
+    let mut f = BigInt::one();
+    for k in 2..=(2 * i + 1) {
+        f = f.mul(&BigInt::from(k as u64));
+    }
+    f
+}
+
+/// Builds the Query 5-style SQL for `terms` Taylor terms over column
+/// `col`: `SELECT col - col*col*col/6 + col*col*col*col*col/120 … FROM
+/// r5`.
+pub fn taylor_sql(col: &str, terms: u32) -> String {
+    assert!(terms >= 1);
+    let mut s = String::from("SELECT ");
+    for i in 0..terms {
+        let power = 2 * i + 1;
+        if i > 0 {
+            s.push_str(if i % 2 == 1 { " - " } else { " + " });
+        }
+        let monomial = vec![col; power as usize].join("*");
+        if i == 0 {
+            s.push_str(&monomial);
+        } else {
+            s.push_str(&format!("{monomial}/{}", odd_factorial(i)));
+        }
+    }
+    s.push_str(" FROM r5");
+    s
+}
+
+/// Exact-series `sin(x)` at `scale` fractional digits (truncated): the
+/// ground-truth generator. Works on unscaled integers so every step is
+/// exact integer arithmetic.
+pub fn sin_ground_truth(x: &UpDecimal, scale: u32) -> UpDecimal {
+    let s = scale;
+    let x_s = if x.dtype().scale > s {
+        // Not expected (inputs have scale 8 ≤ s), but stay correct.
+        x.unscaled().div_pow10_trunc(x.dtype().scale - s)
+    } else {
+        x.align_up(s)
+    };
+    // term_i and the accumulator live at scale s (unscaled integers).
+    let x2 = x_s.mul(&x_s); // scale 2s
+    let mut term = x_s.clone();
+    let mut acc = x_s.clone();
+    let mut k: u64 = 1;
+    loop {
+        // term_{i+1} = −term_i · x² / ((k+1)(k+2)) , rescaled back to s.
+        k += 2;
+        let denom = BigInt::from((k - 1) * k);
+        term = term.mul(&x2).div_pow10_trunc(2 * s).div(&denom).neg();
+        if term.is_zero() {
+            break;
+        }
+        acc = acc.add(&term);
+    }
+    UpDecimal::from_parts_unchecked(
+        acc,
+        DecimalType::new_unchecked(s + 2, s),
+    )
+}
+
+/// Mean absolute error of approximations against ground truths.
+pub fn mean_absolute_error(approx: &[UpDecimal], truth: &[UpDecimal]) -> f64 {
+    assert_eq!(approx.len(), truth.len());
+    assert!(!approx.is_empty());
+    let sum: f64 = approx
+        .iter()
+        .zip(truth)
+        .map(|(a, t)| a.abs_diff_f64(t))
+        .sum();
+    sum / approx.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(odd_factorial(0).to_string(), "1");
+        assert_eq!(odd_factorial(1).to_string(), "6");
+        assert_eq!(odd_factorial(2).to_string(), "120");
+        assert_eq!(odd_factorial(3).to_string(), "5040");
+        // 21! exceeds u64 — the 11-term query needs it.
+        assert_eq!(odd_factorial(10).to_string(), "51090942171709440000");
+    }
+
+    #[test]
+    fn sql_matches_query5_shape() {
+        let q = taylor_sql("c1", 3);
+        assert_eq!(
+            q,
+            "SELECT c1 - c1*c1*c1/6 + c1*c1*c1*c1*c1/120 FROM r5"
+        );
+    }
+
+    #[test]
+    fn ground_truth_matches_f64_sin_at_f64_precision() {
+        for x in ["0.01000000", "0.78000000", "1.56000000", "0.00000001"] {
+            let v = UpDecimal::parse(x, radian_type()).unwrap();
+            let truth = sin_ground_truth(&v, 60);
+            let expect = v.to_f64().sin();
+            assert!(
+                (truth.to_f64() - expect).abs() < 1e-14,
+                "sin({x}): {} vs {expect}",
+                truth.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_stable_across_scales() {
+        // 300-digit truth truncated to 60 digits equals 60-digit truth
+        // within 1 ulp.
+        let v = UpDecimal::parse("0.78000000", radian_type()).unwrap();
+        let t60 = sin_ground_truth(&v, 60);
+        let t300 = sin_ground_truth(&v, 300);
+        assert!(t60.abs_diff_f64(&t300) < 1e-59);
+    }
+
+    #[test]
+    fn mae_computes() {
+        let t = radian_type();
+        let a = vec![UpDecimal::parse("0.50000000", t).unwrap()];
+        let b = vec![UpDecimal::parse("0.50000001", t).unwrap()];
+        let e = mean_absolute_error(&a, &b);
+        assert!((e - 1e-8).abs() < 1e-15);
+    }
+}

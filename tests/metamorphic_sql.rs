@@ -1,0 +1,143 @@
+//! Metamorphic SQL tests: algebraic identities that must hold across the
+//! whole engine stack regardless of data — each one exercises the JIT,
+//! the kernels, the aggregation path and the planner together.
+
+use ultraprecise::prelude::*;
+use ultraprecise::up_workloads::datagen;
+
+fn dt(p: u32, s: u32) -> DecimalType {
+    DecimalType::new(p, s).unwrap()
+}
+
+fn db_with(n: usize, seed: u64) -> Database {
+    let t1 = dt(16, 3);
+    let t2 = dt(16, 6);
+    let mut db = Database::new(Profile::UltraPrecise);
+    db.create_table(
+        "m",
+        Schema::new(vec![
+            ("a", ColumnType::Decimal(t1)),
+            ("b", ColumnType::Decimal(t2)),
+            ("tag", ColumnType::Str),
+        ]),
+    );
+    let ca = datagen::random_decimal_column(n, t1, 3, true, seed);
+    let cb = datagen::random_decimal_column(n, t2, 3, true, seed + 1);
+    for i in 0..n {
+        db.insert(
+            "m",
+            vec![
+                Value::Decimal(ca[i].clone()),
+                Value::Decimal(cb[i].clone()),
+                Value::Str(if i % 3 == 0 { "x" } else { "y" }.to_string()),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn dec_of(v: &Value) -> UpDecimal {
+    match v {
+        Value::Decimal(d) => d.clone(),
+        other => panic!("expected decimal, got {other:?}"),
+    }
+}
+
+#[test]
+fn sum_is_linear() {
+    // SUM(a + b) == SUM(a) + SUM(b), exactly.
+    let mut db = db_with(400, 7);
+    let lhs = dec_of(&db.query("SELECT SUM(a + b) FROM m").unwrap().rows[0][0]);
+    let r = db.query("SELECT SUM(a), SUM(b) FROM m").unwrap();
+    let rhs = dec_of(&r.rows[0][0]).add(&dec_of(&r.rows[0][1]));
+    assert_eq!(lhs.cmp_value(&rhs), std::cmp::Ordering::Equal);
+}
+
+#[test]
+fn group_sums_partition_the_total() {
+    // Σ over groups == global sum, exactly.
+    let mut db = db_with(300, 11);
+    let total = dec_of(&db.query("SELECT SUM(a) FROM m").unwrap().rows[0][0]);
+    let grouped = db.query("SELECT tag, SUM(a) FROM m GROUP BY tag").unwrap();
+    let mut acc: Option<UpDecimal> = None;
+    for row in &grouped.rows {
+        let v = dec_of(&row[1]);
+        acc = Some(match acc {
+            None => v,
+            Some(a) => a.add(&v),
+        });
+    }
+    assert_eq!(acc.unwrap().cmp_value(&total), std::cmp::Ordering::Equal);
+}
+
+#[test]
+fn filter_complement_partitions_count_and_sum() {
+    let mut db = db_with(350, 13);
+    let all = db.query("SELECT COUNT(*), SUM(b) FROM m").unwrap();
+    let pos = db.query("SELECT COUNT(*), SUM(b) FROM m WHERE a > 0").unwrap();
+    let neg = db.query("SELECT COUNT(*), SUM(b) FROM m WHERE NOT a > 0").unwrap();
+    let (Value::Int64(n_all), Value::Int64(n_pos), Value::Int64(n_neg)) =
+        (&all.rows[0][0], &pos.rows[0][0], &neg.rows[0][0])
+    else {
+        panic!()
+    };
+    assert_eq!(*n_all, n_pos + n_neg);
+    let s_all = dec_of(&all.rows[0][1]);
+    let s_split = dec_of(&pos.rows[0][1]).add(&dec_of(&neg.rows[0][1]));
+    assert_eq!(s_all.cmp_value(&s_split), std::cmp::Ordering::Equal);
+}
+
+#[test]
+fn distributivity_through_the_jit() {
+    // (a + b) * 2 == a*2 + b*2 per row — exercises alignment + mul kernels.
+    let mut db = db_with(200, 17);
+    let lhs = db.query("SELECT (a + b) * 2 FROM m").unwrap();
+    let rhs = db.query("SELECT a * 2 + b * 2 FROM m").unwrap();
+    for (l, r) in lhs.rows.iter().zip(&rhs.rows) {
+        assert_eq!(
+            dec_of(&l[0]).cmp_value(&dec_of(&r[0])),
+            std::cmp::Ordering::Equal
+        );
+    }
+}
+
+#[test]
+fn case_split_equals_whole() {
+    // SUM(CASE p THEN a ELSE 0) + SUM(CASE NOT p THEN a ELSE 0) == SUM(a).
+    let mut db = db_with(250, 19);
+    let whole = dec_of(&db.query("SELECT SUM(a) FROM m").unwrap().rows[0][0]);
+    let split = db
+        .query(
+            "SELECT SUM(CASE WHEN tag = 'x' THEN a ELSE 0 END), \
+             SUM(CASE WHEN tag <> 'x' THEN a ELSE 0 END) FROM m",
+        )
+        .unwrap();
+    let sum = dec_of(&split.rows[0][0]).add(&dec_of(&split.rows[0][1]));
+    assert_eq!(sum.cmp_value(&whole), std::cmp::Ordering::Equal);
+}
+
+#[test]
+fn avg_times_count_equals_sum_within_truncation() {
+    let mut db = db_with(180, 23);
+    let r = db.query("SELECT AVG(a), COUNT(*), SUM(a) FROM m").unwrap();
+    let avg = dec_of(&r.rows[0][0]);
+    let Value::Int64(n) = r.rows[0][1] else { panic!() };
+    let sum = dec_of(&r.rows[0][2]);
+    // AVG truncates at scale s+4, so AVG·n is within n ulps of SUM.
+    let recon = avg.to_f64() * n as f64;
+    let tol = n as f64 * 10f64.powi(-(avg.dtype().scale as i32));
+    assert!((recon - sum.to_f64()).abs() <= tol, "{recon} vs {sum}");
+}
+
+#[test]
+fn order_by_is_a_permutation_and_sorted() {
+    let mut db = db_with(120, 29);
+    let plain = db.query("SELECT a FROM m").unwrap();
+    let sorted = db.query("SELECT a FROM m ORDER BY a").unwrap();
+    assert_eq!(plain.rows.len(), sorted.rows.len());
+    let mut vals: Vec<f64> = plain.rows.iter().map(|r| dec_of(&r[0]).to_f64()).collect();
+    vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let got: Vec<f64> = sorted.rows.iter().map(|r| dec_of(&r[0]).to_f64()).collect();
+    assert_eq!(vals, got);
+}

@@ -1,0 +1,169 @@
+//! Property-based end-to-end validation: random expressions over random
+//! typed columns must produce bit-identical results through the JIT+GPU
+//! kernel path and the scalar reference semantics, with and without the
+//! §III-D optimizations.
+
+use proptest::prelude::*;
+use ultraprecise::up_gpusim::{launch, DeviceConfig, GlobalMem, LaunchConfig};
+use ultraprecise::up_jit::cache::{Compiled, JitEngine, JitOptions};
+use ultraprecise::up_jit::Expr;
+use ultraprecise::up_num::{encode_compact, DecimalType, UpDecimal};
+
+/// A small expression-tree generator over up to 3 columns.
+#[derive(Clone, Debug)]
+enum Node {
+    Col(u8),
+    Lit(i32, u8),
+    Neg(Box<Node>),
+    Add(Box<Node>, Box<Node>),
+    Sub(Box<Node>, Box<Node>),
+    Mul(Box<Node>, Box<Node>),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Node::Col),
+        (-9999i32..=9999, 0u8..=3).prop_map(|(v, s)| Node::Lit(v, s)),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|x| Node::Neg(Box::new(x))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Node::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Node::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_expr(n: &Node, tys: &[DecimalType; 3]) -> Expr {
+    match n {
+        Node::Col(c) => {
+            let c = (*c % 3) as usize;
+            Expr::col(c, tys[c], format!("c{c}"))
+        }
+        Node::Lit(v, s) => {
+            let s = (*s % 4) as u32;
+            let text = format!("{}", *v as f64 / 10f64.powi(s as i32));
+            Expr::Const(UpDecimal::parse_literal(&text).expect("literal"))
+        }
+        Node::Neg(x) => to_expr(x, tys).neg(),
+        Node::Add(a, b) => to_expr(a, tys).add(to_expr(b, tys)),
+        Node::Sub(a, b) => to_expr(a, tys).sub(to_expr(b, tys)),
+        Node::Mul(a, b) => to_expr(a, tys).mul(to_expr(b, tys)),
+    }
+}
+
+fn run_kernel(expr: &Expr, rows: &[Vec<UpDecimal>], tys: &[DecimalType; 3], opts: JitOptions) -> Vec<UpDecimal> {
+    let mut jit = JitEngine::new(opts);
+    let (compiled, _) = jit.compile(expr);
+    match compiled {
+        Compiled::Passthrough(e) => rows
+            .iter()
+            .map(|row| e.eval_row(row).expect("passthrough eval"))
+            .collect(),
+        Compiled::Kernel(k) => {
+            let device = DeviceConfig::tiny();
+            let mut mem = GlobalMem::new();
+            let n = rows.len();
+            // The kernel reads buffers 0..n_inputs and writes buffer
+            // n_inputs, so add exactly the referenced column prefix.
+            for (c, ty) in tys.iter().enumerate().take(k.n_inputs) {
+                let mut bytes = Vec::with_capacity(n * ty.lb());
+                for row in rows {
+                    bytes.extend(encode_compact(&row[c], *ty).expect("encodes"));
+                }
+                mem.add_buffer(bytes);
+            }
+            let out_lb = k.out_ty.lb();
+            let out = mem.alloc(n.max(1) * out_lb);
+            let cfg = LaunchConfig { grid_blocks: 2, block_threads: 64 };
+            launch(&k.kernel, cfg, &device, &mut mem, &[n as u32]).expect("launch");
+            let bytes = mem.buffer(out);
+            (0..n)
+                .map(|i| {
+                    ultraprecise::up_num::decode_compact(
+                        &bytes[i * out_lb..(i + 1) * out_lb],
+                        k.out_ty,
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernels_match_reference_for_random_expressions(
+        node in node_strategy(),
+        raw in prop::collection::vec((any::<i32>(), any::<i32>(), any::<i32>()), 1..24),
+    ) {
+        let tys = [
+            DecimalType::new_unchecked(12, 2),
+            DecimalType::new_unchecked(12, 5),
+            DecimalType::new_unchecked(12, 0),
+        ];
+        let expr = to_expr(&node, &tys);
+        // Keep kernels tractable: the inferred type must stay moderate.
+        prop_assume!(expr.dtype().precision <= 120);
+        let rows: Vec<Vec<UpDecimal>> = raw
+            .iter()
+            .map(|(a, b, c)| {
+                vec![
+                    UpDecimal::from_scaled_i64(*a as i64, tys[0]).expect("fits"),
+                    UpDecimal::from_scaled_i64(*b as i64, tys[1]).expect("fits"),
+                    UpDecimal::from_scaled_i64(*c as i64, tys[2]).expect("fits"),
+                ]
+            })
+            .collect();
+
+        let expect: Vec<UpDecimal> = rows
+            .iter()
+            .map(|row| expr.eval_row(row).expect("reference eval"))
+            .collect();
+
+        // Optimized and unoptimized kernels both match the reference.
+        for opts in [JitOptions::default(), JitOptions::none()] {
+            let got = run_kernel(&expr, &rows, &tys, opts);
+            for (g, w) in got.iter().zip(&expect) {
+                prop_assert_eq!(
+                    g.cmp_value(w),
+                    std::cmp::Ordering::Equal,
+                    "kernel {:?} vs reference {:?} (opts {:?})",
+                    g, w, opts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_pipeline_preserves_values(
+        node in node_strategy(),
+        a in any::<i32>(),
+        b in any::<i32>(),
+        c in any::<i32>(),
+    ) {
+        let tys = [
+            DecimalType::new_unchecked(12, 2),
+            DecimalType::new_unchecked(12, 5),
+            DecimalType::new_unchecked(12, 0),
+        ];
+        let expr = to_expr(&node, &tys);
+        let row = vec![
+            UpDecimal::from_scaled_i64(a as i64, tys[0]).expect("fits"),
+            UpDecimal::from_scaled_i64(b as i64, tys[1]).expect("fits"),
+            UpDecimal::from_scaled_i64(c as i64, tys[2]).expect("fits"),
+        ];
+        let jit = JitEngine::with_defaults();
+        let optimized = jit.optimize(&expr);
+        let v1 = expr.eval_row(&row).expect("raw eval");
+        let v2 = optimized.eval_row(&row).expect("optimized eval");
+        prop_assert_eq!(v1.cmp_value(&v2), std::cmp::Ordering::Equal, "{:?} vs {:?}", v1, v2);
+        // Scheduling never increases runtime alignments.
+        prop_assert!(
+            ultraprecise::up_jit::alignment_count(&optimized)
+                <= ultraprecise::up_jit::alignment_count(&expr)
+        );
+    }
+}
