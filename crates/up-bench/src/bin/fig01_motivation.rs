@@ -40,7 +40,7 @@ fn main() {
             // DOUBLE timing uses the host system's executor constants but
             // the f64 arithmetic path; UltraPrecise's DOUBLE run models
             // the same GPU scan/transfer with 8-byte values.
-            let mut db = runner::decimal_db(profile, "r", cols, n, 3, 42);
+            let db = runner::decimal_db(profile, "r", cols, n, 3, 42);
             let time: Result<ModeledTime, String> = db
                 .query("SELECT SUM(c1 + c2) FROM r")
                 .map(|r| scale_modeled(&r.modeled, opts.scale()))
@@ -90,7 +90,7 @@ fn main() {
     );
 
     // Also demonstrate the UltraPrecise query returns the exact value.
-    let mut up = runner::decimal_db(Profile::UltraPrecise, "r", &low, n, 3, 42);
+    let up = runner::decimal_db(Profile::UltraPrecise, "r", &low, n, 3, 42);
     let r = up.query("SELECT SUM(c1 + c2) FROM r").unwrap();
     let Value::Decimal(got) = &r.rows[0][0] else { panic!("decimal sum") };
     assert_eq!(got.cmp_value(&exact), core::cmp::Ordering::Equal);

@@ -59,6 +59,7 @@ pub fn scale_modeled(m: &ModeledTime, factor: f64) -> ModeledTime {
         compile_s: m.compile_s,
         kernel_s: m.kernel_s * factor,
         cpu_s: m.cpu_s * factor,
+        queue_s: m.queue_s * factor,
     }
 }
 
@@ -179,8 +180,8 @@ pub mod runner {
         profiles
             .iter()
             .map(|&p| {
-                let mut db = build(p);
-                let mut run = || -> Result<ModeledTime, String> {
+                let db = build(p);
+                let run = || -> Result<ModeledTime, String> {
                     let r = db.query(sql).map_err(|e| e.to_string())?;
                     Ok(r.modeled)
                 };
@@ -233,7 +234,7 @@ pub mod kernels {
         n_report: u64,
     ) -> Option<KernelRun> {
         let n = cols.first().map(|c| c.len()).unwrap_or(0).max(1);
-        let mut jit = JitEngine::new(opts);
+        let jit = JitEngine::new(opts);
         let (compiled, _) = jit.compile(expr);
         let Compiled::Kernel(k) = compiled else {
             return None;
@@ -286,7 +287,14 @@ mod tests {
 
     #[test]
     fn scaling_keeps_compile_constant() {
-        let m = ModeledTime { scan_s: 1.0, pcie_s: 2.0, compile_s: 3.0, kernel_s: 4.0, cpu_s: 5.0 };
+        let m = ModeledTime {
+            scan_s: 1.0,
+            pcie_s: 2.0,
+            compile_s: 3.0,
+            kernel_s: 4.0,
+            cpu_s: 5.0,
+            queue_s: 0.0,
+        };
         let s = scale_modeled(&m, 10.0);
         assert_eq!(s.compile_s, 3.0);
         assert_eq!(s.kernel_s, 40.0);

@@ -1,13 +1,20 @@
 //! The database facade: catalog + JIT engine + device + profile, with a
 //! one-call SQL entry point.
+//!
+//! Read-only queries take `&self`: the JIT engine's cache and counters use
+//! interior mutability, so one `Database` behind an `Arc`/`RwLock` can
+//! serve many concurrent sessions (the `up-server` crate builds exactly
+//! that). Only DDL and insert paths — which mutate the catalog — still
+//! require `&mut self`.
 
 use crate::exec::{execute, ExecCtx, QueryError, QueryResult};
 use crate::plan::plan;
 use crate::profiles::Profile;
 use crate::sql::parse_select;
 use crate::storage::{Catalog, Schema, Table, Value};
+use std::sync::Arc;
 use up_gpusim::DeviceConfig;
-use up_jit::cache::JitEngine;
+use up_jit::cache::{CacheStats, JitEngine, SharedKernelCache};
 use up_num::NumError;
 
 /// A database instance bound to one execution profile.
@@ -95,24 +102,39 @@ impl Database {
         self.catalog.get(name)
     }
 
-    /// Parses, plans, and executes one `SELECT`.
-    pub fn query(&mut self, sql: &str) -> Result<QueryResult, QueryError> {
+    /// Parses, plans, and executes one `SELECT` under the database's
+    /// default profile. Read-only: safe to call from many threads when the
+    /// `Database` is behind a shared reference.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, QueryError> {
+        self.query_as(self.profile, sql)
+    }
+
+    /// Executes one `SELECT` under an explicit profile (per-session
+    /// profiles in the concurrent service override the default this way).
+    pub fn query_as(&self, profile: Profile, sql: &str) -> Result<QueryResult, QueryError> {
         let select = parse_select(sql).map_err(QueryError::Parse)?;
         let plan = plan(&select, &self.catalog).map_err(QueryError::Plan)?;
         let mut ctx = ExecCtx {
             catalog: &self.catalog,
-            profile: self.profile,
+            profile,
             device: &self.device,
-            jit: &mut self.jit,
+            jit: &self.jit,
             agg_tpi: self.agg_tpi,
             expr_tpi: self.expr_tpi,
         };
         execute(&plan, &mut ctx)
     }
 
-    /// JIT cache statistics (hits, misses).
-    pub fn jit_stats(&self) -> (u64, u64) {
+    /// JIT kernel-cache statistics (hits, misses, evictions, occupancy).
+    pub fn jit_stats(&self) -> CacheStats {
         self.jit.cache_stats()
+    }
+
+    /// A handle to this database's kernel cache; share it with other
+    /// engines (via [`JitEngine::with_cache`]) so sessions reuse each
+    /// other's compiled kernels.
+    pub fn jit_cache_handle(&self) -> Arc<SharedKernelCache> {
+        self.jit.cache_handle()
     }
 
     /// Renders the bound plan of a query without executing it — which
@@ -284,7 +306,7 @@ mod tests {
 
     #[test]
     fn projection_on_gpu_matches_reference() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db.query("SELECT c1 + c2 FROM r").unwrap();
         let got: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
         assert_eq!(got, vec!["2.33", "-2.50", "90.09", "0.01", "20.00"]);
@@ -306,7 +328,7 @@ mod tests {
             Profile::H2Like,
             Profile::CockroachLike,
         ] {
-            let mut db = small_db(p);
+            let db = small_db(p);
             let r = db.query("SELECT c1 + c2 FROM r").unwrap();
             let vals: Vec<f64> = r
                 .rows
@@ -329,7 +351,7 @@ mod tests {
 
     #[test]
     fn filter_and_order_and_limit() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db
             .query("SELECT c1 FROM r WHERE c1 > 0 ORDER BY c1 DESC LIMIT 2")
             .unwrap();
@@ -339,7 +361,7 @@ mod tests {
 
     #[test]
     fn group_by_with_sum_and_count() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db
             .query("SELECT g, SUM(c1) AS s, COUNT(*) AS n FROM r GROUP BY g ORDER BY g")
             .unwrap();
@@ -352,7 +374,7 @@ mod tests {
 
     #[test]
     fn global_aggregates() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db
             .query("SELECT SUM(c1), MIN(c1), MAX(c1), AVG(c1), COUNT(*) FROM r")
             .unwrap();
@@ -376,18 +398,19 @@ mod tests {
 
     #[test]
     fn division_by_zero_aborts_query() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let err = db.query("SELECT c1 / c2 FROM r").unwrap_err(); // c2 has a 0.0
         assert!(matches!(err, QueryError::Num(NumError::DivisionByZero)), "{err}");
     }
 
     #[test]
     fn kernel_cache_reused_across_queries() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         db.query("SELECT c1 + c2 FROM r").unwrap();
         db.query("SELECT c1 + c2 FROM r").unwrap();
-        let (hits, misses) = db.jit_stats();
-        assert_eq!((hits, misses), (1, 1));
+        let s = db.jit_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.evictions, 0);
     }
 
     #[test]
@@ -421,7 +444,7 @@ mod tests {
 
     #[test]
     fn case_when_predicated_selection() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db
             .query(
                 "SELECT CASE WHEN g = 'a' THEN c1 ELSE 0 END FROM r ORDER BY 1 DESC LIMIT 2",
@@ -434,7 +457,7 @@ mod tests {
 
     #[test]
     fn case_sum_counts_like_q12() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db
             .query(
                 "SELECT SUM(CASE WHEN g = 'a' THEN 1 ELSE 0 END) AS a_cnt,                  SUM(CASE WHEN g = 'b' THEN 1 ELSE 0 END) AS b_cnt FROM r",
@@ -446,7 +469,7 @@ mod tests {
 
     #[test]
     fn aggregate_arithmetic_like_q14() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         // 100 * SUM(a-branch c1)/SUM(c1): a-rows sum 6.23, total 106.23.
         let r = db
             .query(
@@ -459,7 +482,7 @@ mod tests {
 
     #[test]
     fn cast_in_projection_and_aggregate() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db.query("SELECT CAST(c1 AS DECIMAL(10, 4)) FROM r LIMIT 1").unwrap();
         assert_eq!(r.rows[0][0].render(), "1.2300");
         let r2 = db.query("SELECT SUM(CAST(c1 AS DECIMAL(10, 0))) FROM r").unwrap();
@@ -471,7 +494,7 @@ mod tests {
 
     #[test]
     fn sum_divided_by_literal_like_q17() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db.query("SELECT SUM(c1) / 7.0 FROM r").unwrap();
         let Value::Decimal(d) = &r.rows[0][0] else { panic!() };
         assert!((d.to_f64() - 106.23 / 7.0).abs() < 1e-4, "{d}");
@@ -497,10 +520,10 @@ mod tests {
             }
             db
         };
-        let mut single = make(1);
+        let single = make(1);
         let r1 = single.query("SELECT x * x + x FROM w").unwrap();
         for tpi in [4u32, 8, 32] {
-            let mut mt = make(tpi);
+            let mt = make(tpi);
             let r = mt.query("SELECT x * x + x FROM w").unwrap();
             for (a, b) in r1.rows.iter().zip(&r.rows) {
                 let (Value::Decimal(x), Value::Decimal(y)) = (&a[0], &b[0]) else { panic!() };
@@ -532,7 +555,7 @@ mod tests {
 
     #[test]
     fn save_and_load_table_through_database() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let dir = std::env::temp_dir().join("up_engine_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("r.uptb");
@@ -549,7 +572,7 @@ mod tests {
 
     #[test]
     fn having_filters_groups() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db
             .query(
                 "SELECT g, SUM(c1) AS total FROM r GROUP BY g                  HAVING total > 50 ORDER BY g",
@@ -569,7 +592,7 @@ mod tests {
 
     #[test]
     fn count_distinct() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db
             .query("SELECT COUNT(DISTINCT g), COUNT(*) FROM r")
             .unwrap();
@@ -607,7 +630,7 @@ mod tests {
 
     #[test]
     fn constant_only_projection() {
-        let mut db = small_db(Profile::UltraPrecise);
+        let db = small_db(Profile::UltraPrecise);
         let r = db.query("SELECT 1 + 2 FROM r LIMIT 3").unwrap();
         assert_eq!(r.rows.len(), 3);
         assert_eq!(r.rows[0][0].render(), "3");

@@ -141,12 +141,16 @@ pub struct ModeledTime {
     pub kernel_s: f64,
     /// CPU executor + arithmetic.
     pub cpu_s: f64,
+    /// Queueing delay waiting for a free GPU stream (0 for standalone
+    /// execution; the concurrent service's stream scheduler fills it in
+    /// so contended throughput numbers are priced, not just functional).
+    pub queue_s: f64,
 }
 
 impl ModeledTime {
     /// Total modeled execution time.
     pub fn total(&self) -> f64 {
-        self.scan_s + self.pcie_s + self.compile_s + self.kernel_s + self.cpu_s
+        self.scan_s + self.pcie_s + self.compile_s + self.kernel_s + self.cpu_s + self.queue_s
     }
 
     fn add(&mut self, o: &ModeledTime) {
@@ -155,6 +159,7 @@ impl ModeledTime {
         self.compile_s += o.compile_s;
         self.kernel_s += o.kernel_s;
         self.cpu_s += o.cpu_s;
+        self.queue_s += o.queue_s;
     }
 }
 
@@ -181,8 +186,9 @@ pub struct ExecCtx<'a> {
     pub profile: Profile,
     /// Simulated device.
     pub device: &'a DeviceConfig,
-    /// JIT engine (kernel cache persists across queries).
-    pub jit: &'a mut JitEngine,
+    /// JIT engine (kernel cache persists across queries and may be shared
+    /// with other engines; all compilation goes through `&self`).
+    pub jit: &'a JitEngine,
     /// TPI for multi-threaded aggregation (paper uses 8 in §IV-C2).
     pub agg_tpi: u32,
     /// TPI for multi-threaded *expression* evaluation (§III-E1); 1 =
@@ -1493,7 +1499,14 @@ mod tests {
 
     #[test]
     fn modeled_time_totals_and_adds() {
-        let mut a = ModeledTime { scan_s: 1.0, pcie_s: 2.0, compile_s: 3.0, kernel_s: 4.0, cpu_s: 5.0 };
+        let mut a = ModeledTime {
+            scan_s: 1.0,
+            pcie_s: 2.0,
+            compile_s: 3.0,
+            kernel_s: 4.0,
+            cpu_s: 5.0,
+            queue_s: 0.0,
+        };
         assert_eq!(a.total(), 15.0);
         let b = ModeledTime { scan_s: 0.5, ..Default::default() };
         a.add(&b);

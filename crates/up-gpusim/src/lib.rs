@@ -6,8 +6,9 @@
 //! executor with coalescing-aware memory statistics ([`exec`]), an analytic
 //! cost model turning those statistics into kernel times ([`cost`]),
 //! CGBN-style thread-group big-number arithmetic ([`cgbn`], §III-E1),
-//! multi-pass aggregation (§III-E2, [`reduce`]) and an Nsight-like profiler
-//! view ([`profiler`]).
+//! multi-pass aggregation (§III-E2, [`reduce`]), an Nsight-like profiler
+//! view ([`profiler`]) and a CUDA-stream scheduler with queueing-delay
+//! accounting for concurrent services ([`stream`]).
 
 pub mod cgbn;
 pub mod disasm;
@@ -17,6 +18,7 @@ pub mod exec;
 pub mod profiler;
 pub mod ptx;
 pub mod reduce;
+pub mod stream;
 
 pub use device::DeviceConfig;
 pub use exec::{launch, launch_sampled, ExecStats, GlobalMem, LaunchConfig, SimError};

@@ -1,0 +1,178 @@
+//! Simulated CUDA-stream scheduler with queueing-delay accounting.
+//!
+//! A real deployment multiplexes concurrent queries' kernels over a small
+//! number of CUDA streams; when every stream is busy, a launch waits. The
+//! standalone cost model ([`crate::cost`]) prices a kernel as if it owned
+//! the device — correct for the paper's single-query experiments, but a
+//! concurrent service must also charge the *queueing delay* a launch
+//! accrues before its stream frees up. This module models exactly that:
+//! N streams in modeled time, each submission routed to the
+//! earliest-available stream (the greedy list-scheduling discipline CUDA's
+//! round-robin approximates under saturation), returning the delay so the
+//! caller can fold it into its `ModeledTime`.
+//!
+//! The scheduler is deliberately functional-only: it never sleeps. All
+//! times are modeled seconds on the caller's timeline.
+
+/// Placement of one submission on a stream.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamSlot {
+    /// Index of the stream the work ran on.
+    pub stream: usize,
+    /// Modeled start time (≥ arrival; later when the stream was busy).
+    pub start_s: f64,
+    /// Modeled completion time.
+    pub end_s: f64,
+    /// `start_s − arrival_s`: time spent waiting for the stream.
+    pub queue_delay_s: f64,
+}
+
+/// Point-in-time scheduler statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamStats {
+    /// Number of streams.
+    pub streams: usize,
+    /// Kernels submitted so far.
+    pub launches: u64,
+    /// Total modeled busy seconds across all streams (SM-seconds of
+    /// stream occupancy).
+    pub busy_s: f64,
+    /// Latest modeled completion time seen (the makespan of the
+    /// workload so far).
+    pub makespan_s: f64,
+    /// `busy_s / (streams × makespan_s)` — how well the workload kept
+    /// the streams fed (0 when nothing ran).
+    pub utilization: f64,
+    /// Sum of all queueing delays.
+    pub queue_delay_total_s: f64,
+    /// Largest single queueing delay.
+    pub queue_delay_max_s: f64,
+}
+
+/// An N-stream earliest-available scheduler over modeled time.
+#[derive(Clone, Debug)]
+pub struct StreamScheduler {
+    busy_until: Vec<f64>,
+    busy_total: f64,
+    launches: u64,
+    makespan: f64,
+    queue_delay_total: f64,
+    queue_delay_max: f64,
+}
+
+impl StreamScheduler {
+    /// New scheduler with `streams` streams (clamped to ≥ 1).
+    pub fn new(streams: usize) -> StreamScheduler {
+        StreamScheduler {
+            busy_until: vec![0.0; streams.max(1)],
+            busy_total: 0.0,
+            launches: 0,
+            makespan: 0.0,
+            queue_delay_total: 0.0,
+            queue_delay_max: 0.0,
+        }
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Places a kernel of `duration_s` modeled seconds arriving at
+    /// `arrival_s` on the earliest-available stream.
+    pub fn submit(&mut self, arrival_s: f64, duration_s: f64) -> StreamSlot {
+        let arrival_s = arrival_s.max(0.0);
+        let duration_s = duration_s.max(0.0);
+        // Earliest-available stream; ties break toward the lowest index.
+        let (stream, free_at) = self
+            .busy_until
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .expect("at least one stream");
+        let start_s = arrival_s.max(free_at);
+        let end_s = start_s + duration_s;
+        self.busy_until[stream] = end_s;
+        self.busy_total += duration_s;
+        self.launches += 1;
+        self.makespan = self.makespan.max(end_s);
+        let queue_delay_s = start_s - arrival_s;
+        self.queue_delay_total += queue_delay_s;
+        self.queue_delay_max = self.queue_delay_max.max(queue_delay_s);
+        StreamSlot { stream, start_s, end_s, queue_delay_s }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> StreamStats {
+        let cap = self.busy_until.len() as f64 * self.makespan;
+        StreamStats {
+            streams: self.busy_until.len(),
+            launches: self.launches,
+            busy_s: self.busy_total,
+            makespan_s: self.makespan,
+            utilization: if cap > 0.0 { self.busy_total / cap } else { 0.0 },
+            queue_delay_total_s: self.queue_delay_total,
+            queue_delay_max_s: self.queue_delay_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_submissions_have_no_delay() {
+        let mut s = StreamScheduler::new(2);
+        let a = s.submit(0.0, 1.0);
+        let b = s.submit(0.0, 1.0);
+        assert_eq!(a.queue_delay_s, 0.0);
+        assert_eq!(b.queue_delay_s, 0.0);
+        assert_ne!(a.stream, b.stream, "second kernel takes the free stream");
+    }
+
+    #[test]
+    fn contention_queues_on_the_earliest_available_stream() {
+        let mut s = StreamScheduler::new(2);
+        s.submit(0.0, 1.0); // stream 0: busy until 1.0
+        s.submit(0.0, 3.0); // stream 1: busy until 3.0
+        let c = s.submit(0.0, 1.0); // must wait for stream 0
+        assert_eq!(c.stream, 0);
+        assert_eq!(c.start_s, 1.0);
+        assert_eq!(c.queue_delay_s, 1.0);
+        let st = s.stats();
+        assert_eq!(st.launches, 3);
+        assert_eq!(st.queue_delay_total_s, 1.0);
+        assert_eq!(st.queue_delay_max_s, 1.0);
+        // busy 5 s over 2 streams × makespan 3 s.
+        assert!((st.utilization - 5.0 / 6.0).abs() < 1e-12, "{st:?}");
+    }
+
+    #[test]
+    fn later_arrivals_start_on_time_when_streams_are_free() {
+        let mut s = StreamScheduler::new(1);
+        s.submit(0.0, 1.0);
+        let b = s.submit(5.0, 1.0); // arrives after the stream drained
+        assert_eq!(b.start_s, 5.0);
+        assert_eq!(b.queue_delay_s, 0.0);
+        let st = s.stats();
+        // 2 s busy over a 6 s makespan on one stream.
+        assert!((st.utilization - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_streams_clamps_to_one() {
+        let mut s = StreamScheduler::new(0);
+        assert_eq!(s.streams(), 1);
+        let a = s.submit(0.0, 1.0);
+        assert_eq!(a.stream, 0);
+    }
+
+    #[test]
+    fn utilization_is_zero_before_any_work() {
+        let s = StreamScheduler::new(4);
+        assert_eq!(s.stats().utilization, 0.0);
+        assert_eq!(s.stats().launches, 0);
+    }
+}

@@ -1,8 +1,11 @@
-//! The JIT engine: optimization pipeline, kernel cache, and compile-time
-//! accounting.
+//! The JIT engine: optimization pipeline, shared kernel cache, and
+//! compile-time accounting.
 //!
 //! Expressions are optimized (§III-D), compiled to kernels (§III-B2), and
 //! cached by structural signature so repeated queries skip compilation.
+//! The cache is a thread-safe, lock-striped LRU ([`SharedKernelCache`])
+//! that can be shared across many engines via `Arc` — the way RateupDB's
+//! server lets concurrent sessions reuse each other's compiled artifacts.
 //! Compile time is reported two ways: the *actual* time this Rust code
 //! spent building the IR (microseconds) and the *modeled* NVCC latency a
 //! real deployment pays (§IV-D1 reports 320–423 ms for TPC-H Q1), so
@@ -14,7 +17,8 @@ use crate::expr::Expr;
 use crate::nary::NExpr;
 use crate::schedule::schedule_alignment;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use up_gpusim::cost::modeled_compile_time_s;
 
@@ -65,24 +69,180 @@ pub struct CompileInfo {
     pub modeled_compile_s: f64,
 }
 
-/// The JIT compilation engine with its kernel cache.
+/// Point-in-time kernel-cache counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Compile requests served from the cache.
+    pub hits: u64,
+    /// Compile requests that built a new kernel.
+    pub misses: u64,
+    /// Entries dropped by the LRU capacity bound.
+    pub evictions: u64,
+    /// Kernels currently resident.
+    pub entries: usize,
+    /// Total capacity across all shards.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Default capacity of a per-engine cache (kernels, not bytes — compiled
+/// IR is small; the bound exists to keep long-lived services from
+/// accumulating every signature ever seen).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Default lock-stripe count for shared caches.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+struct Entry {
+    kernel: Arc<CompiledExpr>,
+    last_use: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+/// A thread-safe kernel cache: lock-striped over signature hash, each
+/// shard an LRU bounded at `capacity / shards` entries. Cloning the `Arc`
+/// and handing it to several [`JitEngine`]s makes concurrent sessions
+/// reuse each other's compiled kernels — compilation happens at most once
+/// per distinct signature (the compiling thread holds its shard's lock,
+/// so a racing lookup waits and then hits).
+pub struct SharedKernelCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    next_id: AtomicU64,
+}
+
+impl SharedKernelCache {
+    /// New cache bounded at roughly `capacity` kernels over the default
+    /// stripe count.
+    pub fn new(capacity: usize) -> SharedKernelCache {
+        Self::with_shards(capacity, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// New cache with an explicit stripe count (1 = exact global LRU,
+    /// useful for deterministic tests; more stripes = less contention).
+    pub fn with_shards(capacity: usize, shards: usize) -> SharedKernelCache {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.div_ceil(shards).max(1);
+        SharedKernelCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, sig: &str) -> &Mutex<Shard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        sig.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up `sig`, compiling and inserting on a miss. `build` receives
+    /// a process-unique kernel id. Returns the kernel and whether it was
+    /// served from cache. The shard lock is held across `build`, which
+    /// guarantees at most one compilation per distinct signature even
+    /// under races.
+    pub fn get_or_compile(
+        &self,
+        sig: &str,
+        build: impl FnOnce(u64) -> CompiledExpr,
+    ) -> (Arc<CompiledExpr>, bool) {
+        let mut shard = self.shard_of(sig).lock().expect("kernel cache poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(e) = shard.map.get_mut(sig) {
+            e.last_use = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(&e.kernel), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let kernel = Arc::new(build(id));
+        shard.map.insert(sig.to_string(), Entry { kernel: Arc::clone(&kernel), last_use: tick });
+        if shard.map.len() > self.shard_capacity {
+            // Evict the least-recently-used entry of this shard.
+            if let Some(lru) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        (kernel, false)
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("kernel cache poisoned").map.len())
+                .sum(),
+            capacity: self.shard_capacity * self.shards.len(),
+        }
+    }
+}
+
+/// The JIT compilation engine over a (possibly shared) kernel cache.
+///
+/// All methods take `&self`: cache and counters use interior mutability,
+/// so one engine can serve concurrent read-only queries. A default engine
+/// owns a private cache; [`JitEngine::with_cache`] plugs in a shared one.
 pub struct JitEngine {
     opts: JitOptions,
-    cache: HashMap<String, Arc<CompiledExpr>>,
-    hits: u64,
-    misses: u64,
-    next_id: u64,
+    cache: Arc<SharedKernelCache>,
 }
 
 impl JitEngine {
-    /// New engine with the given optimization switches.
+    /// New engine with the given optimization switches and a private,
+    /// bounded kernel cache.
     pub fn new(opts: JitOptions) -> JitEngine {
-        JitEngine { opts, cache: HashMap::new(), hits: 0, misses: 0, next_id: 0 }
+        JitEngine { opts, cache: Arc::new(SharedKernelCache::new(DEFAULT_CACHE_CAPACITY)) }
     }
 
     /// New engine with all optimizations on.
     pub fn with_defaults() -> JitEngine {
         Self::new(JitOptions::default())
+    }
+
+    /// New engine over an existing (shared) kernel cache.
+    pub fn with_cache(opts: JitOptions, cache: Arc<SharedKernelCache>) -> JitEngine {
+        JitEngine { opts, cache }
+    }
+
+    /// A handle to this engine's kernel cache (clone to share it with
+    /// other engines).
+    pub fn cache_handle(&self) -> Arc<SharedKernelCache> {
+        Arc::clone(&self.cache)
     }
 
     /// The optimization switches in effect.
@@ -106,7 +266,7 @@ impl JitEngine {
     }
 
     /// Optimizes and compiles an expression, consulting the cache.
-    pub fn compile(&mut self, expr: &Expr) -> (Compiled, CompileInfo) {
+    pub fn compile(&self, expr: &Expr) -> (Compiled, CompileInfo) {
         let t0 = Instant::now();
         let optimized = self.optimize(expr);
         match optimized {
@@ -125,23 +285,17 @@ impl JitEngine {
                     runtime_const_conversion: !self.opts.fold_constants,
                 };
                 let sig = format!("{}|rtc={}", e.signature(), copts.runtime_const_conversion);
-                if let Some(hit) = self.cache.get(&sig) {
-                    self.hits += 1;
-                    let info = CompileInfo {
-                        cached: true,
-                        build_s: t0.elapsed().as_secs_f64(),
-                        modeled_compile_s: 0.0,
-                    };
-                    return (Compiled::Kernel(Arc::clone(hit)), info);
-                }
-                self.misses += 1;
-                self.next_id += 1;
-                let name = format!("calc_expr_{}", self.next_id);
-                let compiled = Arc::new(compile_expr_with(&e, &name, copts));
-                let modeled = modeled_compile_time_s(compiled.kernel.static_inst_count());
-                self.cache.insert(sig, Arc::clone(&compiled));
+                let (compiled, cached) = self.cache.get_or_compile(&sig, |id| {
+                    let name = format!("calc_expr_{id}");
+                    compile_expr_with(&e, &name, copts)
+                });
+                let modeled = if cached {
+                    0.0
+                } else {
+                    modeled_compile_time_s(compiled.kernel.static_inst_count())
+                };
                 let info = CompileInfo {
-                    cached: false,
+                    cached,
                     build_s: t0.elapsed().as_secs_f64(),
                     modeled_compile_s: modeled,
                 };
@@ -150,9 +304,9 @@ impl JitEngine {
         }
     }
 
-    /// (cache hits, cache misses) so far.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// Cache counters (hits, misses, evictions, occupancy).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 
@@ -167,7 +321,7 @@ mod tests {
 
     #[test]
     fn cache_hits_on_identical_structure() {
-        let mut jit = JitEngine::with_defaults();
+        let jit = JitEngine::with_defaults();
         let e = Expr::col(0, ty(4, 2), "a").add(Expr::col(1, ty(4, 1), "b"));
         let (c1, i1) = jit.compile(&e);
         let (c2, i2) = jit.compile(&e);
@@ -181,13 +335,14 @@ mod tests {
             }
             _ => panic!("expected kernels"),
         }
-        assert_eq!(jit.cache_stats(), (1, 1));
+        let s = jit.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
     }
 
     #[test]
     fn trivial_expression_generates_no_kernel() {
         // 1 + a + 2 − 3 → a (§IV-B3: "no GPU kernel is generated").
-        let mut jit = JitEngine::with_defaults();
+        let jit = JitEngine::with_defaults();
         let e = Expr::lit("1")
             .unwrap()
             .add(Expr::col(0, ty(12, 10), "a"))
@@ -206,8 +361,8 @@ mod tests {
             .add(a())
             .add(Expr::lit("2").unwrap())
             .add(Expr::lit("11").unwrap());
-        let mut on = JitEngine::with_defaults();
-        let mut off = JitEngine::new(JitOptions::none());
+        let on = JitEngine::with_defaults();
+        let off = JitEngine::new(JitOptions::none());
         let (k_on, _) = on.compile(&e);
         let (k_off, _) = off.compile(&e);
         let (Compiled::Kernel(k_on), Compiled::Kernel(k_off)) = (k_on, k_off) else {
@@ -223,12 +378,62 @@ mod tests {
 
     #[test]
     fn distinct_types_do_not_collide_in_cache() {
-        let mut jit = JitEngine::with_defaults();
+        let jit = JitEngine::with_defaults();
         let e1 = Expr::col(0, ty(4, 2), "a").add(Expr::col(1, ty(4, 1), "b"));
         let e2 = Expr::col(0, ty(9, 2), "a").add(Expr::col(1, ty(4, 1), "b"));
         jit.compile(&e1);
         let (_, i2) = jit.compile(&e2);
         assert!(!i2.cached);
-        assert_eq!(jit.cache_stats(), (0, 2));
+        let s = jit.cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 2));
+    }
+
+    #[test]
+    fn lru_capacity_bound_evicts_coldest() {
+        // Single shard → exact LRU semantics.
+        let cache = Arc::new(SharedKernelCache::with_shards(2, 1));
+        let jit = JitEngine::with_cache(JitOptions::default(), cache);
+        let exprs: Vec<Expr> = (1..=3)
+            .map(|p| Expr::col(0, ty(4 + p, 2), "a").add(Expr::col(1, ty(4, 1), "b")))
+            .collect();
+        jit.compile(&exprs[0]); // cache: [0]
+        jit.compile(&exprs[1]); // cache: [0, 1]
+        jit.compile(&exprs[0]); // touch 0 → 1 is now LRU
+        jit.compile(&exprs[2]); // evicts 1
+        let s = jit.cache_stats();
+        assert_eq!(s.evictions, 1, "{s:?}");
+        assert_eq!(s.entries, 2);
+        // 0 survived (hit), 1 was evicted (miss again), totals add up.
+        let (_, i0) = jit.compile(&exprs[0]);
+        assert!(i0.cached);
+        let (_, i1) = jit.compile(&exprs[1]);
+        assert!(!i1.cached);
+        let s = jit.cache_stats();
+        assert_eq!(s.misses, 4, "{s:?}"); // 3 distinct + 1 re-compile
+    }
+
+    #[test]
+    fn shared_cache_compiles_each_signature_once_across_engines() {
+        let cache = Arc::new(SharedKernelCache::new(64));
+        let e = Expr::col(0, ty(6, 2), "a").mul(Expr::col(1, ty(6, 2), "b"));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&cache);
+            let expr = e.clone();
+            handles.push(std::thread::spawn(move || {
+                let jit = JitEngine::with_cache(JitOptions::default(), c);
+                let (compiled, _) = jit.compile(&expr);
+                match compiled {
+                    Compiled::Kernel(k) => Arc::as_ptr(&k) as usize,
+                    _ => panic!("expected kernel"),
+                }
+            }));
+        }
+        let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "all threads share one kernel");
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "{s:?}"); // compiled exactly once
+        assert_eq!(s.hits, 7, "{s:?}");
+        assert!((s.hit_rate() - 7.0 / 8.0).abs() < 1e-12);
     }
 }

@@ -13,7 +13,7 @@ fn ty(p: u32, s: u32) -> DecimalType {
 }
 
 fn kernel_of(e: &Expr, opts: JitOptions) -> up_jit::CompiledExpr {
-    let mut jit = JitEngine::new(opts);
+    let jit = JitEngine::new(opts);
     let (c, _) = jit.compile(e);
     match c {
         Compiled::Kernel(k) => (*k).clone(),

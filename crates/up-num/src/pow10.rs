@@ -90,4 +90,31 @@ mod tests {
         let q = mul::mul(&pow10_limbs(CACHE_MAX_EXP), &pow10_limbs(5));
         assert_eq!(p, q);
     }
+
+    #[test]
+    fn parallel_lookups_agree_with_serial_computation() {
+        // The global cache extends itself lazily under its mutex; racing
+        // threads asking for interleaved exponents must all observe
+        // correct values (the concurrent server hits this path whenever
+        // sessions align differently-scaled columns simultaneously).
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    // Each thread walks a different arithmetic sequence so
+                    // cache growth is requested out of order.
+                    (0..40u32)
+                        .map(|i| {
+                            let n = 28 + ((i * 7 + t * 13) % 200);
+                            (n, pow10_limbs(n))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (n, limbs) in h.join().unwrap() {
+                assert_eq!(limbs, compute_pow10(n), "n={n}");
+            }
+        }
+    }
 }

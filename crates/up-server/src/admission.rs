@@ -1,0 +1,184 @@
+//! Admission control: a bounded MPMC queue with blocking consumers.
+//!
+//! The server's front door. Producers (`submit`) never block — a full
+//! queue is an immediate, explicit rejection so callers can back off —
+//! while consumers (the worker pool) park on a condvar until work or
+//! shutdown arrives. This is the load-shedding discipline a GPU service
+//! needs: the device has a fixed service rate, so an unbounded queue only
+//! converts overload into unbounded latency.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Returned by [`BoundedQueue::push`] when the queue is at capacity or
+/// closed; hands the rejected item back to the caller.
+#[derive(Debug)]
+pub struct QueueFull<T>(pub T);
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of `items.len()`.
+    max_depth: usize,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+///
+/// `push` is non-blocking (rejects at capacity); `pop_blocking` parks
+/// until an item or [`close`](BoundedQueue::close) arrives.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// New queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").max_depth
+    }
+
+    /// Enqueues `item`, returning the depth after the push, or the item
+    /// back inside [`QueueFull`] when at capacity (or closed).
+    pub fn push(&self, item: T) -> Result<usize, QueueFull<T>> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(QueueFull(item));
+        }
+        g.items.push_back(item);
+        let depth = g.items.len();
+        g.max_depth = g.max_depth.max(depth);
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, blocked consumers drain the
+    /// remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_reports_depth_and_rejects_at_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1).unwrap(), 1);
+        assert_eq!(q.push(2).unwrap(), 2);
+        let QueueFull(rejected) = q.push(3).unwrap_err();
+        assert_eq!(rejected, 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn pop_returns_fifo_then_blocks_until_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        assert_eq!(q.pop_blocking(), Some(10));
+        assert_eq!(q.pop_blocking(), Some(20));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_blocking());
+        // The consumer parks; closing wakes it with None.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_drains_remaining_items_before_none() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert!(q.push(2).is_err(), "closed queue rejects");
+        assert_eq!(q.pop_blocking(), Some(1));
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(1024));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop_blocking() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        q.push(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<i32>>());
+    }
+}

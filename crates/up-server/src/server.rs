@@ -1,0 +1,539 @@
+//! The concurrent query server: worker pool + admission queue + shared
+//! JIT cache + simulated GPU streams, over one `RwLock`-guarded database.
+//!
+//! Concurrency model:
+//!
+//! - **Reads scale**: `Database::query` takes `&self`, so any number of
+//!   workers execute queries under the read lock simultaneously. The JIT
+//!   cache inside is lock-striped and shared — a kernel signature is
+//!   compiled at most once server-wide.
+//! - **Writes serialize**: DDL and inserts take the write lock, draining
+//!   readers first. That is the paper's deployment shape (RateupDB's
+//!   OLAP side: bulk loads, then read-heavy analytics).
+//! - **Admission control**: a bounded queue in front of the pool. Full
+//!   queue → immediate [`ServerError::Rejected`] with a retry-after
+//!   estimate derived from observed service times, instead of unbounded
+//!   latency.
+//! - **Cancellation**: every submission carries a cancel flag; a ticket
+//!   that times out flips it so a still-queued job is dropped cheaply.
+//! - **Modeled GPU contention**: each successful query's kernel seconds
+//!   are placed on N simulated CUDA streams; the resulting queueing
+//!   delay lands in `ModeledTime::queue_s`, so reported times reflect
+//!   device contention, not just isolated execution.
+
+use crate::admission::BoundedQueue;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::session::{SessionId, SessionManager, SessionStats};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use up_engine::{Database, Profile, QueryError, QueryResult, Schema, Value};
+use up_gpusim::stream::StreamScheduler;
+use up_gpusim::DeviceConfig;
+use up_jit::cache::{JitEngine, JitOptions, SharedKernelCache, DEFAULT_CACHE_CAPACITY};
+use up_num::NumError;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing queries (0 = accept but never execute —
+    /// useful for deterministic backpressure tests).
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Simulated CUDA streams kernels are multiplexed over.
+    pub gpu_streams: usize,
+    /// Shared JIT kernel-cache capacity (kernels).
+    pub jit_cache_capacity: usize,
+    /// Default client-side wait deadline for [`QueryTicket::wait`].
+    pub default_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            gpu_streams: 4,
+            jit_cache_capacity: DEFAULT_CACHE_CAPACITY,
+            default_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Everything that can go wrong between `submit` and a result.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Admission control bounced the submission; try again after the
+    /// suggested backoff.
+    Rejected {
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+        /// Suggested backoff before retrying, in seconds.
+        retry_after_s: f64,
+    },
+    /// The session handle is not connected.
+    UnknownSession(SessionId),
+    /// The ticket's deadline expired before a result arrived (the queued
+    /// job is canceled).
+    Timeout {
+        /// The deadline that expired, in seconds.
+        after_s: f64,
+    },
+    /// The job was canceled before execution.
+    Canceled,
+    /// The server shut down before answering.
+    Shutdown,
+    /// The engine executed the query and failed.
+    Query(QueryError),
+}
+
+impl core::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServerError::Rejected { queue_depth, retry_after_s } => write!(
+                f,
+                "admission queue full (depth {queue_depth}); retry after {retry_after_s:.3} s"
+            ),
+            ServerError::UnknownSession(id) => write!(f, "unknown {id}"),
+            ServerError::Timeout { after_s } => {
+                write!(f, "query timed out after {after_s:.3} s")
+            }
+            ServerError::Canceled => write!(f, "query canceled"),
+            ServerError::Shutdown => write!(f, "server shut down"),
+            ServerError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+struct Job {
+    session: SessionId,
+    profile: Profile,
+    sql: String,
+    cancel: Arc<AtomicBool>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<QueryResult, ServerError>>,
+}
+
+struct ServerInner {
+    db: RwLock<Database>,
+    jit_cache: Arc<SharedKernelCache>,
+    sessions: SessionManager,
+    metrics: MetricsRegistry,
+    streams: Mutex<StreamScheduler>,
+    queue: BoundedQueue<Job>,
+    started: Instant,
+    config: ServerConfig,
+}
+
+/// A pending query: await it with [`wait`](QueryTicket::wait) or abort
+/// it with [`cancel`](QueryTicket::cancel).
+pub struct QueryTicket {
+    rx: mpsc::Receiver<Result<QueryResult, ServerError>>,
+    cancel: Arc<AtomicBool>,
+    timeout: Duration,
+    inner: Arc<ServerInner>,
+}
+
+impl core::fmt::Debug for QueryTicket {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("QueryTicket")
+            .field("canceled", &self.cancel.load(Ordering::Relaxed))
+            .field("timeout", &self.timeout)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryTicket {
+    /// Blocks until the result arrives or the server's default timeout
+    /// elapses. On timeout the job is canceled (a worker that has not
+    /// started it yet will drop it).
+    pub fn wait(self) -> Result<QueryResult, ServerError> {
+        let timeout = self.timeout;
+        self.wait_timeout(timeout)
+    }
+
+    /// [`wait`](QueryTicket::wait) with an explicit deadline.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<QueryResult, ServerError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.cancel.store(true, Ordering::Relaxed);
+                self.inner.metrics.on_timed_out();
+                Err(ServerError::Timeout { after_s: timeout.as_secs_f64() })
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServerError::Shutdown),
+        }
+    }
+
+    /// Flags the job canceled. A worker that dequeues it later replies
+    /// [`ServerError::Canceled`] without executing.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The concurrent query service. Cheap to share behind an `Arc`; all
+/// methods take `&self`.
+pub struct UpServer {
+    inner: Arc<ServerInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl UpServer {
+    /// Starts a server over a fresh empty database (UltraPrecise default
+    /// profile, A6000-like device) whose JIT engine uses a shared cache
+    /// of the configured capacity.
+    pub fn new(config: ServerConfig) -> UpServer {
+        let cache = Arc::new(SharedKernelCache::new(config.jit_cache_capacity));
+        let jit = JitEngine::with_cache(JitOptions::default(), Arc::clone(&cache));
+        let db = Database::with_config(Profile::UltraPrecise, DeviceConfig::a6000(), jit);
+        Self::start(config, db, cache)
+    }
+
+    /// Starts a server over an existing database (its kernel cache
+    /// becomes the server-wide shared cache).
+    pub fn with_database(config: ServerConfig, db: Database) -> UpServer {
+        let cache = db.jit_cache_handle();
+        Self::start(config, db, cache)
+    }
+
+    fn start(config: ServerConfig, db: Database, cache: Arc<SharedKernelCache>) -> UpServer {
+        let inner = Arc::new(ServerInner {
+            db: RwLock::new(db),
+            jit_cache: cache,
+            sessions: SessionManager::new(),
+            metrics: MetricsRegistry::new(),
+            streams: Mutex::new(StreamScheduler::new(config.gpu_streams)),
+            queue: BoundedQueue::new(config.queue_capacity),
+            started: Instant::now(),
+            config,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("up-worker-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        UpServer { inner, workers }
+    }
+
+    /// Opens a session running under `profile`.
+    pub fn connect(&self, profile: Profile) -> SessionId {
+        self.inner.sessions.connect(profile)
+    }
+
+    /// Closes a session; returns its final stats, or `None` if unknown.
+    pub fn disconnect(&self, id: SessionId) -> Option<SessionStats> {
+        self.inner.sessions.disconnect(id)
+    }
+
+    /// A session's usage counters so far.
+    pub fn session_stats(&self, id: SessionId) -> Option<SessionStats> {
+        self.inner.sessions.stats(id)
+    }
+
+    /// Creates (or replaces) a table. Write-locked: drains readers first.
+    pub fn create_table(&self, name: &str, schema: Schema) {
+        self.inner.db.write().expect("db poisoned").create_table(name, schema);
+    }
+
+    /// Bulk-appends rows. Write-locked.
+    pub fn insert_many(
+        &self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<(), NumError> {
+        self.inner.db.write().expect("db poisoned").insert_many(table, rows)
+    }
+
+    /// Runs `f` under the database read lock (ad-hoc inspection).
+    pub fn read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.inner.db.read().expect("db poisoned"))
+    }
+
+    /// Runs `f` under the database write lock (ad-hoc DDL).
+    pub fn write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.inner.db.write().expect("db poisoned"))
+    }
+
+    /// Submits a query for a session; returns a ticket to await. Fails
+    /// fast with [`ServerError::Rejected`] when the admission queue is
+    /// full and [`ServerError::UnknownSession`] for stale handles.
+    pub fn submit(&self, session: SessionId, sql: &str) -> Result<QueryTicket, ServerError> {
+        let profile = self
+            .inner
+            .sessions
+            .profile(session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            session,
+            profile,
+            sql: sql.to_string(),
+            cancel: Arc::clone(&cancel),
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        match self.inner.queue.push(job) {
+            Ok(_depth) => {
+                self.inner.metrics.on_submitted();
+                Ok(QueryTicket {
+                    rx,
+                    cancel,
+                    timeout: self.inner.config.default_timeout,
+                    inner: Arc::clone(&self.inner),
+                })
+            }
+            Err(_full) => {
+                self.inner.metrics.on_rejected();
+                let queue_depth = self.inner.queue.len();
+                // Estimated time for the backlog to drain one slot.
+                let mean = self.inner.metrics.mean_latency_s();
+                let per_slot = if mean > 0.0 { mean } else { 0.010 };
+                let retry_after_s =
+                    per_slot * (queue_depth as f64 + 1.0) / self.inner.config.workers.max(1) as f64;
+                Err(ServerError::Rejected { queue_depth, retry_after_s })
+            }
+        }
+    }
+
+    /// Convenience: [`submit`](UpServer::submit) + [`QueryTicket::wait`].
+    pub fn query(&self, session: SessionId, sql: &str) -> Result<QueryResult, ServerError> {
+        self.submit(session, sql)?.wait()
+    }
+
+    /// A point-in-time snapshot of every service metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        self.inner.metrics.fill(&mut snap);
+        snap.sessions_active = self.inner.sessions.active();
+        snap.sessions_total = self.inner.sessions.total();
+        // The queue itself is authoritative for depth (the registry gauge
+        // can be transiently off by one mid-handoff).
+        snap.queue_depth = self.inner.queue.len();
+        snap.queue_capacity = self.inner.queue.capacity();
+        snap.queue_max_depth = self.inner.queue.max_depth();
+        snap.cache = self.inner.jit_cache.stats();
+        snap.streams = self.inner.streams.lock().expect("streams poisoned").stats();
+        snap
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    /// Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.inner.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for UpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: Arc<ServerInner>) {
+    while let Some(job) = inner.queue.pop_blocking() {
+        inner.metrics.on_dequeued();
+        if job.cancel.load(Ordering::Relaxed) {
+            inner.metrics.on_canceled();
+            let _ = job.reply.send(Err(ServerError::Canceled));
+            continue;
+        }
+        // Kernel arrival on the simulated device = when the query entered
+        // the server, on the server's wall-clock timeline.
+        let arrival_s = job.enqueued.duration_since(inner.started).as_secs_f64();
+        let result = {
+            let db = inner.db.read().expect("db poisoned");
+            db.query_as(job.profile, &job.sql)
+        };
+        let result = result.map(|mut r| {
+            if r.modeled.kernel_s > 0.0 {
+                let slot = inner
+                    .streams
+                    .lock()
+                    .expect("streams poisoned")
+                    .submit(arrival_s, r.modeled.kernel_s);
+                r.modeled.queue_s += slot.queue_delay_s;
+            }
+            inner.metrics.on_gpu_time(r.modeled.kernel_s, r.modeled.queue_s);
+            r
+        });
+        let ok = result.is_ok();
+        inner.sessions.record_query(job.session, ok);
+        inner
+            .metrics
+            .on_completed(job.enqueued.elapsed().as_secs_f64(), ok);
+        // A gone receiver (client timed out and dropped the ticket) is
+        // fine — the work is done and accounted either way.
+        let _ = job.reply.send(result.map_err(ServerError::Query));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use up_engine::ColumnType;
+    use up_num::{DecimalType, UpDecimal};
+
+    fn ty(p: u32, s: u32) -> DecimalType {
+        DecimalType::new_unchecked(p, s)
+    }
+
+    fn dec(s: &str, t: DecimalType) -> Value {
+        Value::Decimal(UpDecimal::parse(s, t).unwrap())
+    }
+
+    fn seeded_server(config: ServerConfig) -> UpServer {
+        let server = UpServer::new(config);
+        let t = ty(6, 2);
+        server.create_table("t", Schema::new(vec![("x", ColumnType::Decimal(t))]));
+        server
+            .insert_many(
+                "t",
+                ["1.00", "2.50", "-3.25", "10.00"].map(|s| vec![dec(s, t)]),
+            )
+            .unwrap();
+        server
+    }
+
+    #[test]
+    fn end_to_end_query_through_the_pool() {
+        let server = seeded_server(ServerConfig { workers: 2, ..ServerConfig::default() });
+        let s = server.connect(Profile::UltraPrecise);
+        let r = server.query(s, "SELECT SUM(x) FROM t").unwrap();
+        assert_eq!(r.rows[0][0].render(), "10.25");
+        let m = server.metrics();
+        assert_eq!(m.submitted, 1);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.failed, 0);
+        assert_eq!(m.latency.count, 1);
+        assert_eq!(server.session_stats(s).unwrap().queries, 1);
+    }
+
+    #[test]
+    fn per_session_profiles_route_execution() {
+        let server = seeded_server(ServerConfig::default());
+        let gpu = server.connect(Profile::UltraPrecise);
+        let cpu = server.connect(Profile::PostgresLike);
+        let r1 = server.query(gpu, "SELECT x + x FROM t").unwrap();
+        let r2 = server.query(cpu, "SELECT x + x FROM t").unwrap();
+        assert_eq!(r1.kernels, 1);
+        assert_eq!(r2.kernels, 0, "comparator profile launches no kernels");
+        // Result *values* agree; the declared result types may differ
+        // between backends, so compare renderings.
+        let render = |r: &up_engine::QueryResult| -> Vec<String> {
+            r.rows.iter().map(|row| row[0].render()).collect()
+        };
+        assert_eq!(render(&r1), render(&r2));
+    }
+
+    #[test]
+    fn unknown_session_is_rejected_up_front() {
+        let server = seeded_server(ServerConfig::default());
+        let err = server.query(SessionId(999), "SELECT x FROM t").unwrap_err();
+        assert!(matches!(err, ServerError::UnknownSession(_)), "{err}");
+    }
+
+    #[test]
+    fn engine_errors_come_back_as_query_errors() {
+        let server = seeded_server(ServerConfig::default());
+        let s = server.connect(Profile::UltraPrecise);
+        let err = server.query(s, "SELECT nope FROM t").unwrap_err();
+        assert!(matches!(err, ServerError::Query(_)), "{err}");
+        let m = server.metrics();
+        assert_eq!(m.failed, 1);
+        assert_eq!(server.session_stats(s).unwrap().errors, 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_after() {
+        // No workers: nothing drains, so the queue fills deterministically.
+        let server = seeded_server(ServerConfig {
+            workers: 0,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        });
+        let s = server.connect(Profile::UltraPrecise);
+        let _t1 = server.submit(s, "SELECT x FROM t").unwrap();
+        let _t2 = server.submit(s, "SELECT x FROM t").unwrap();
+        let err = server.submit(s, "SELECT x FROM t").unwrap_err();
+        match err {
+            ServerError::Rejected { queue_depth, retry_after_s } => {
+                assert_eq!(queue_depth, 2);
+                assert!(retry_after_s > 0.0);
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+        let m = server.metrics();
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.queue_depth, 2);
+        assert_eq!(m.queue_max_depth, 2);
+    }
+
+    #[test]
+    fn ticket_timeout_cancels_the_job() {
+        let server = seeded_server(ServerConfig {
+            workers: 0,
+            default_timeout: Duration::from_millis(10),
+            ..ServerConfig::default()
+        });
+        let s = server.connect(Profile::UltraPrecise);
+        let ticket = server.submit(s, "SELECT x FROM t").unwrap();
+        let err = ticket.wait().unwrap_err();
+        assert!(matches!(err, ServerError::Timeout { .. }), "{err}");
+        assert_eq!(server.metrics().timed_out, 1);
+    }
+
+    #[test]
+    fn explicit_cancel_drops_a_queued_job() {
+        let server = seeded_server(ServerConfig { workers: 0, ..ServerConfig::default() });
+        let s = server.connect(Profile::UltraPrecise);
+        let ticket = server.submit(s, "SELECT x FROM t").unwrap();
+        ticket.cancel();
+        // No workers are running; spin one worker pass manually by
+        // shutting down with a late-started pool instead: simplest is to
+        // assert the flag made it into the queue — the concurrency
+        // integration tests cover the worker-side path.
+        assert!(ticket.cancel.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn writes_serialize_against_reads() {
+        let server = seeded_server(ServerConfig::default());
+        let s = server.connect(Profile::UltraPrecise);
+        let before = server.query(s, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(before.rows[0][0].render(), "4");
+        server.insert_many("t", [vec![dec("7.77", ty(6, 2))]]).unwrap();
+        let after = server.query(s, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(after.rows[0][0].render(), "5");
+    }
+
+    #[test]
+    fn stream_scheduler_and_cache_feed_the_snapshot() {
+        let server = seeded_server(ServerConfig { workers: 2, ..ServerConfig::default() });
+        let s = server.connect(Profile::UltraPrecise);
+        for _ in 0..4 {
+            let r = server.query(s, "SELECT x * x FROM t").unwrap();
+            assert!(r.modeled.queue_s >= 0.0);
+        }
+        let m = server.metrics();
+        assert_eq!(m.cache.misses, 1, "one signature, compiled once");
+        assert_eq!(m.cache.hits, 3);
+        assert_eq!(m.streams.launches, 4);
+        assert!(m.gpu_kernel_s > 0.0);
+        assert!(m.streams.utilization > 0.0);
+        let text = m.report();
+        assert!(text.contains("4 submitted"), "{text}");
+    }
+}

@@ -1,0 +1,78 @@
+//! The query service under concurrent load: several client threads share
+//! one server (one database, one JIT cache, N simulated GPU streams),
+//! then the metrics report is printed.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_service
+//! ```
+
+use std::sync::Arc;
+use ultraprecise::prelude::*;
+
+fn main() {
+    // A server with a 4-thread worker pool over 4 simulated CUDA streams.
+    let server = Arc::new(UpServer::new(ServerConfig::default()));
+
+    // Load a table of wide decimals (write path: serialized, drains
+    // readers).
+    let ty = DecimalType::new(30, 6).unwrap();
+    server.create_table(
+        "ledger",
+        Schema::new(vec![
+            ("amount", ColumnType::Decimal(ty)),
+            ("rate", ColumnType::Decimal(ty)),
+        ]),
+    );
+    let rows: Vec<Vec<Value>> = (0..2000i64)
+        .map(|i| {
+            let a = UpDecimal::from_scaled_i64(i * 982_451_653 % 900_000_000, ty).unwrap();
+            let r = UpDecimal::from_scaled_i64(1_000_000 + i % 75_000, ty).unwrap();
+            vec![Value::Decimal(a), Value::Decimal(r)]
+        })
+        .collect();
+    server.insert_many("ledger", rows).unwrap();
+
+    // Eight clients, each its own session, hammering a small query mix.
+    // Every distinct expression compiles exactly once server-wide; the
+    // rest are cache hits.
+    let queries = [
+        "SELECT SUM(amount * rate) FROM ledger",
+        "SELECT amount, amount + rate FROM ledger WHERE amount > 0 ORDER BY amount DESC LIMIT 3",
+        "SELECT AVG(amount * rate + amount) FROM ledger",
+    ];
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let session = server.connect(Profile::UltraPrecise);
+                for i in 0..6 {
+                    let sql = queries[(c + i) % queries.len()];
+                    match server.query(session, sql) {
+                        Ok(r) => {
+                            if c == 0 && i < queries.len() {
+                                println!(
+                                    "client {c}: {} -> {} row(s), modeled {:.3} ms \
+                                     (of which stream queueing {:.3} ms)",
+                                    sql,
+                                    r.rows.len(),
+                                    r.modeled.total() * 1e3,
+                                    r.modeled.queue_s * 1e3,
+                                );
+                            }
+                        }
+                        Err(e) => println!("client {c}: {sql} -> {e}"),
+                    }
+                }
+                server.disconnect(session);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // The service dashboard: queue, latency, shared-cache efficiency,
+    // and modeled GPU stream occupancy.
+    println!();
+    print!("{}", server.metrics().report());
+}

@@ -18,7 +18,7 @@ fn main() {
     let c2 = Expr::col(1, DecimalType::new(4, 1).unwrap(), "c2_4_1");
     let expr = c1.add(c2);
 
-    let mut jit = JitEngine::with_defaults();
+    let jit = JitEngine::with_defaults();
     let (compiled, info) = jit.compile(&expr);
     let Compiled::Kernel(k) = compiled else { panic!("expected a kernel") };
 
@@ -46,8 +46,8 @@ fn main() {
     // §III-D2 optimization.
     let a = Expr::col(0, DecimalType::new(12, 10).unwrap(), "a");
     let e = Expr::lit("1").unwrap().add(a).add(Expr::lit("2").unwrap()).add(Expr::lit("11").unwrap());
-    let mut on = JitEngine::with_defaults();
-    let mut off = JitEngine::new(JitOptions::none());
+    let on = JitEngine::with_defaults();
+    let off = JitEngine::new(JitOptions::none());
     let (Compiled::Kernel(k_on), _) = on.compile(&e) else { panic!() };
     let (Compiled::Kernel(k_off), _) = off.compile(&e) else { panic!() };
     println!("\n1 + a + 2 + 11:");

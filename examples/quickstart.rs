@@ -47,8 +47,11 @@ fn main() {
         .query("SELECT SUM(reading + reading) AS doubled FROM measurements")
         .unwrap();
     println!("\nSecond run compile time: {:.3} ms (cache hit)", r2.modeled.compile_s * 1e3);
-    let (hits, misses) = db.jit_stats();
-    println!("JIT cache: {hits} hits / {misses} misses");
+    let stats = db.jit_stats();
+    println!(
+        "JIT cache: {} hits / {} misses ({}/{} kernels resident)",
+        stats.hits, stats.misses, stats.entries, stats.capacity
+    );
 
     // The same schema on a DOUBLE engine silently loses digits.
     let mut dbl = Database::new(Profile::DoubleF64);

@@ -15,6 +15,9 @@
 //!   limited-precision engines, DOUBLE, the alternative representation);
 //! * [`up_engine`] — the column-store SQL engine with per-system
 //!   execution profiles;
+//! * [`up_server`] — the concurrent query service (sessions, admission
+//!   control, shared JIT cache, simulated GPU stream scheduling,
+//!   metrics);
 //! * [`up_workloads`] — TPC-H, RSA-in-SQL, Taylor trigonometry, and
 //!   compression workload generators.
 //!
@@ -37,10 +40,12 @@ pub use up_engine;
 pub use up_gpusim;
 pub use up_jit;
 pub use up_num;
+pub use up_server;
 pub use up_workloads;
 
 /// Convenient re-exports for applications.
 pub mod prelude {
     pub use up_engine::{ColumnType, Database, Profile, QueryError, QueryResult, Schema, Value};
     pub use up_num::{DecimalType, UpDecimal};
+    pub use up_server::{ServerConfig, SessionId, UpServer};
 }

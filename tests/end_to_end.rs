@@ -62,7 +62,7 @@ fn sum_aggregation_is_exact_at_every_paper_precision() {
     for (p, s) in [(11, 7), (29, 11), (65, 31), (137, 51), (281, 101)] {
         let ty = dt(p, s);
         let vals = datagen::random_decimal_column(500, ty, 4, true, p as u64);
-        let mut db = column_db(Profile::UltraPrecise, "c1", ty, &vals);
+        let db = column_db(Profile::UltraPrecise, "c1", ty, &vals);
         let r = db.query("SELECT SUM(c1) FROM t").unwrap();
         // Manual exact sum.
         let out_ty = ty.sum_result(500);
@@ -83,7 +83,7 @@ fn arbitrary_precision_profiles_agree_with_each_other() {
     let vals = datagen::random_decimal_column(120, ty, 3, true, 77);
     let mut reference: Option<Vec<String>> = None;
     for profile in [Profile::UltraPrecise, Profile::PostgresLike, Profile::H2Like, Profile::CockroachLike] {
-        let mut db = column_db(profile, "c1", ty, &vals);
+        let db = column_db(profile, "c1", ty, &vals);
         let r = db.query("SELECT c1 * c1 - c1 FROM t").unwrap();
         let got: Vec<String> = r
             .rows
@@ -119,7 +119,7 @@ fn limited_systems_fail_exactly_where_the_paper_says() {
     for (profile, p, should_work) in cases {
         let ty = dt(p, 2);
         let vals = datagen::random_decimal_column(50, ty, 4, true, p as u64 + 1000);
-        let mut db = column_db(profile, "c1", ty, &vals);
+        let db = column_db(profile, "c1", ty, &vals);
         let r = db.query("SELECT c1 + c1 + c1 FROM t");
         assert_eq!(
             r.is_ok(),
@@ -216,19 +216,19 @@ fn modeled_times_have_the_papers_structure() {
     let ty = dt(20, 4);
     let vals = datagen::random_decimal_column(400, ty, 3, true, 31);
 
-    let mut gpu = column_db(Profile::UltraPrecise, "c1", ty, &vals);
+    let gpu = column_db(Profile::UltraPrecise, "c1", ty, &vals);
     let rg = gpu.query("SELECT c1 + c1 FROM t").unwrap();
     assert!(rg.modeled.compile_s > 0.0 && rg.modeled.kernel_s > 0.0 && rg.modeled.pcie_s > 0.0);
     assert!(rg.modeled.scan_s > 0.0);
 
-    let mut pg = column_db(Profile::PostgresLike, "c1", ty, &vals);
+    let pg = column_db(Profile::PostgresLike, "c1", ty, &vals);
     let rp = pg.query("SELECT c1 + c1 FROM t").unwrap();
     assert_eq!(rp.modeled.compile_s, 0.0);
     assert_eq!(rp.modeled.kernel_s, 0.0);
     assert!(rp.modeled.cpu_s > 0.0);
     assert!(rp.modeled.scan_s > 0.0);
 
-    let mut monet = column_db(Profile::MonetLike, "c1", ty, &vals);
+    let monet = column_db(Profile::MonetLike, "c1", ty, &vals);
     let rm = monet.query("SELECT c1 + c1 FROM t").unwrap();
     assert_eq!(rm.modeled.scan_s, 0.0, "MonetDB is measured in-memory (§IV)");
 }

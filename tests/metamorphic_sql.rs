@@ -47,7 +47,7 @@ fn dec_of(v: &Value) -> UpDecimal {
 #[test]
 fn sum_is_linear() {
     // SUM(a + b) == SUM(a) + SUM(b), exactly.
-    let mut db = db_with(400, 7);
+    let db = db_with(400, 7);
     let lhs = dec_of(&db.query("SELECT SUM(a + b) FROM m").unwrap().rows[0][0]);
     let r = db.query("SELECT SUM(a), SUM(b) FROM m").unwrap();
     let rhs = dec_of(&r.rows[0][0]).add(&dec_of(&r.rows[0][1]));
@@ -57,7 +57,7 @@ fn sum_is_linear() {
 #[test]
 fn group_sums_partition_the_total() {
     // Σ over groups == global sum, exactly.
-    let mut db = db_with(300, 11);
+    let db = db_with(300, 11);
     let total = dec_of(&db.query("SELECT SUM(a) FROM m").unwrap().rows[0][0]);
     let grouped = db.query("SELECT tag, SUM(a) FROM m GROUP BY tag").unwrap();
     let mut acc: Option<UpDecimal> = None;
@@ -73,7 +73,7 @@ fn group_sums_partition_the_total() {
 
 #[test]
 fn filter_complement_partitions_count_and_sum() {
-    let mut db = db_with(350, 13);
+    let db = db_with(350, 13);
     let all = db.query("SELECT COUNT(*), SUM(b) FROM m").unwrap();
     let pos = db.query("SELECT COUNT(*), SUM(b) FROM m WHERE a > 0").unwrap();
     let neg = db.query("SELECT COUNT(*), SUM(b) FROM m WHERE NOT a > 0").unwrap();
@@ -91,7 +91,7 @@ fn filter_complement_partitions_count_and_sum() {
 #[test]
 fn distributivity_through_the_jit() {
     // (a + b) * 2 == a*2 + b*2 per row — exercises alignment + mul kernels.
-    let mut db = db_with(200, 17);
+    let db = db_with(200, 17);
     let lhs = db.query("SELECT (a + b) * 2 FROM m").unwrap();
     let rhs = db.query("SELECT a * 2 + b * 2 FROM m").unwrap();
     for (l, r) in lhs.rows.iter().zip(&rhs.rows) {
@@ -105,7 +105,7 @@ fn distributivity_through_the_jit() {
 #[test]
 fn case_split_equals_whole() {
     // SUM(CASE p THEN a ELSE 0) + SUM(CASE NOT p THEN a ELSE 0) == SUM(a).
-    let mut db = db_with(250, 19);
+    let db = db_with(250, 19);
     let whole = dec_of(&db.query("SELECT SUM(a) FROM m").unwrap().rows[0][0]);
     let split = db
         .query(
@@ -119,7 +119,7 @@ fn case_split_equals_whole() {
 
 #[test]
 fn avg_times_count_equals_sum_within_truncation() {
-    let mut db = db_with(180, 23);
+    let db = db_with(180, 23);
     let r = db.query("SELECT AVG(a), COUNT(*), SUM(a) FROM m").unwrap();
     let avg = dec_of(&r.rows[0][0]);
     let Value::Int64(n) = r.rows[0][1] else { panic!() };
@@ -132,7 +132,7 @@ fn avg_times_count_equals_sum_within_truncation() {
 
 #[test]
 fn order_by_is_a_permutation_and_sorted() {
-    let mut db = db_with(120, 29);
+    let db = db_with(120, 29);
     let plain = db.query("SELECT a FROM m").unwrap();
     let sorted = db.query("SELECT a FROM m ORDER BY a").unwrap();
     assert_eq!(plain.rows.len(), sorted.rows.len());

@@ -54,7 +54,7 @@ fn to_expr(n: &Node, tys: &[DecimalType; 3]) -> Expr {
 }
 
 fn run_kernel(expr: &Expr, rows: &[Vec<UpDecimal>], tys: &[DecimalType; 3], opts: JitOptions) -> Vec<UpDecimal> {
-    let mut jit = JitEngine::new(opts);
+    let jit = JitEngine::new(opts);
     let (compiled, _) = jit.compile(expr);
     match compiled {
         Compiled::Passthrough(e) => rows
