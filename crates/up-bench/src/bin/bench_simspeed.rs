@@ -1,0 +1,250 @@
+//! `bench_simspeed` — host-side simulator throughput, serial vs parallel.
+//!
+//! Unlike the figure harnesses (which report *modeled* GPU time), this
+//! bin measures how fast the functional SIMT executor itself runs on the
+//! host: tuples/second of real wall clock for `up-jit`-generated kernels
+//! shaped like the paper's workloads:
+//!
+//! - **fig08 shape**: `c1 + c2 + c3` at LEN 2 — short, memory-lean
+//!   kernels where launch overhead and the warp-uniform fast path
+//!   dominate.
+//! - **fig13 shape** (TPI=32-class instance sizes): `a + b` and `a × b`
+//!   at LEN ≥ 8 (precisions 76 and 153) — long multi-limb inner loops
+//!   where block-parallel execution pays off.
+//!
+//! Every parallel run is checked against the serial reference:
+//! byte-identical output buffers, `ExecStats` equal field-for-field, and
+//! the priced kernel time bit-equal (`f64::to_bits`). A violation aborts
+//! the bench — speed without determinism is a bug, not a result.
+//!
+//! Usage: `bench_simspeed [--quick] [--tuples N] [--out PATH]`.
+//! Results land in `results/BENCH_simspeed.json`. On single-core hosts
+//! the thread sweep still runs (explicit `threads(N)` is a demand, not a
+//! hint), but no speedup is expected; the speedup targets apply to
+//! multi-core machines.
+
+use std::time::Instant;
+use up_bench::{precision_for_len, HarnessOpts};
+use up_gpusim::cost::kernel_time;
+use up_gpusim::par::auto_threads;
+use up_gpusim::{launch_with, DeviceConfig, ExecStats, GlobalMem, LaunchConfig, SimParallelism};
+use up_jit::cache::{Compiled, JitEngine};
+use up_jit::Expr;
+use up_num::{encode_compact, DecimalType};
+use up_workloads::datagen;
+
+struct Workload {
+    name: &'static str,
+    expr: Expr,
+    col_tys: Vec<DecimalType>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let col = |i: usize, ty: DecimalType, n: &str| Expr::col(i, ty, n);
+    let mut out = Vec::new();
+
+    // fig08 shape: three-column sum at LEN 2.
+    let p2 = precision_for_len(2);
+    let t2 = DecimalType::new_unchecked(p2 - 2, 2);
+    out.push(Workload {
+        name: "fig08_len2_add3",
+        expr: col(0, t2, "c1").add(col(1, t2, "c2")).add(col(2, t2, "c3")),
+        col_tys: vec![t2, t2, t2],
+    });
+
+    // fig13 shapes: single-operator kernels at LEN 8 and LEN 16.
+    for &len in &[8usize, 16] {
+        let p = precision_for_len(len);
+        let t_add = DecimalType::new_unchecked(p - 1, 2);
+        let t_mul = DecimalType::new_unchecked((p / 2).max(5), 2);
+        out.push(Workload {
+            name: match len {
+                8 => "fig13_len8_add",
+                _ => "fig13_len16_add",
+            },
+            expr: col(0, t_add, "a").add(col(1, t_add, "b")),
+            col_tys: vec![t_add, t_add],
+        });
+        out.push(Workload {
+            name: match len {
+                8 => "fig13_len8_mul",
+                _ => "fig13_len16_mul",
+            },
+            expr: col(0, t_mul, "a").mul(col(1, t_mul, "b")),
+            col_tys: vec![t_mul, t_mul],
+        });
+    }
+    out
+}
+
+struct ModeResult {
+    mode: String,
+    wall_s: f64,
+    tuples_per_s: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+fn assert_identical(
+    name: &str,
+    mode: &str,
+    serial: (&ExecStats, &[Vec<u8>], f64),
+    run: (&ExecStats, &[Vec<u8>], f64),
+) -> bool {
+    let (s_stats, s_bufs, s_time) = serial;
+    let (stats, bufs, time) = run;
+    let ok = s_stats == stats && s_bufs == bufs && s_time.to_bits() == time.to_bits();
+    assert!(
+        ok,
+        "{name}/{mode}: parallel run diverged from serial \
+         (stats match: {}, bytes match: {}, modeled time bits match: {})",
+        s_stats == stats,
+        s_bufs == bufs,
+        s_time.to_bits() == time.to_bits()
+    );
+    ok
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args(200_000);
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_simspeed.json".to_string());
+    let n = opts.sim_tuples;
+    let reps = if opts.quick { 1 } else { 3 };
+    let device = DeviceConfig::a6000();
+    let host = auto_threads();
+    let mut thread_counts: Vec<usize> = [2usize, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= host.max(8))
+        .collect();
+    thread_counts.dedup();
+
+    println!(
+        "bench_simspeed: {n} tuples/run, {reps} rep(s), host threads {host}\n"
+    );
+
+    let mut json_entries: Vec<String> = Vec::new();
+    for w in workloads() {
+        let jit = JitEngine::with_defaults();
+        let (compiled, _) = jit.compile(&w.expr);
+        let Compiled::Kernel(k) = compiled else { panic!("{}: folded away", w.name) };
+
+        // Encode the input columns once; every run clones this memory.
+        let mut base = GlobalMem::new();
+        for (slot, ty) in w.col_tys.iter().enumerate() {
+            let col = datagen::random_decimal_column(n, *ty, 2, true, 11 + slot as u64);
+            let mut bytes = Vec::with_capacity(n * ty.lb());
+            for v in &col {
+                bytes.extend(encode_compact(v, *ty).expect("fits declared type"));
+            }
+            base.add_buffer(bytes);
+        }
+        let out_buf = base.alloc(n * k.out_ty.lb());
+        let cfg = LaunchConfig::for_tuples(n as u64, 256, &device);
+
+        // Timed run: best-of-reps wall clock, plus the artifacts needed
+        // for the determinism check.
+        let run = |par: SimParallelism| -> (ExecStats, Vec<Vec<u8>>, f64, f64) {
+            let mut best = f64::INFINITY;
+            let mut kept = None;
+            for _ in 0..reps {
+                let mut mem = base.clone();
+                let t0 = Instant::now();
+                let stats = launch_with(&k.kernel, cfg, &device, &mut mem, &[n as u32], par)
+                    .expect("launch");
+                let wall = t0.elapsed().as_secs_f64();
+                if wall < best {
+                    best = wall;
+                    let bufs = vec![mem.buffer(out_buf).to_vec()];
+                    let time = kernel_time(&k.kernel, &stats, &device).total_s;
+                    kept = Some((stats, bufs, time));
+                }
+            }
+            let (stats, bufs, time) = kept.expect("at least one rep");
+            (stats, bufs, time, best)
+        };
+
+        let (s_stats, s_bufs, s_time, s_wall) = run(SimParallelism::Serial);
+        let serial_tps = n as f64 / s_wall;
+        println!(
+            "{:<18} serial      {:>9.3} ms  {:>12.0} tuples/s",
+            w.name,
+            s_wall * 1e3,
+            serial_tps
+        );
+        let mut modes = vec![ModeResult {
+            mode: "serial".into(),
+            wall_s: s_wall,
+            tuples_per_s: serial_tps,
+            speedup: 1.0,
+            identical: true,
+        }];
+
+        let sweep: Vec<SimParallelism> = std::iter::once(SimParallelism::Threads(1))
+            .chain(thread_counts.iter().map(|&t| SimParallelism::Threads(t as u32)))
+            .chain(std::iter::once(SimParallelism::Auto))
+            .collect();
+        for par in sweep {
+            let (stats, bufs, time, wall) = run(par);
+            let identical = assert_identical(
+                w.name,
+                &par.to_string(),
+                (&s_stats, &s_bufs, s_time),
+                (&stats, &bufs, time),
+            );
+            let tps = n as f64 / wall;
+            println!(
+                "{:<18} {:<11} {:>9.3} ms  {:>12.0} tuples/s  {:>5.2}x",
+                "",
+                par.to_string(),
+                wall * 1e3,
+                tps,
+                s_wall / wall
+            );
+            modes.push(ModeResult {
+                mode: par.to_string(),
+                wall_s: wall,
+                tuples_per_s: tps,
+                speedup: s_wall / wall,
+                identical,
+            });
+        }
+        println!();
+
+        let mode_json: Vec<String> = modes
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"mode\":\"{}\",\"wall_s\":{:.6},\"tuples_per_s\":{:.1},\
+                     \"speedup_vs_serial\":{:.3},\"identical_to_serial\":{}}}",
+                    m.mode, m.wall_s, m.tuples_per_s, m.speedup, m.identical
+                )
+            })
+            .collect();
+        json_entries.push(format!(
+            "{{\"workload\":\"{}\",\"tuples\":{},\"modes\":[{}]}}",
+            w.name,
+            n,
+            mode_json.join(",")
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"simspeed\",\"host_threads\":{},\"quick\":{},\
+         \"tuples_per_run\":{},\"reps\":{},\"workloads\":[{}]}}\n",
+        host,
+        opts.quick,
+        n,
+        reps,
+        json_entries.join(",")
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_simspeed.json");
+    println!("wrote {out_path}");
+}

@@ -21,7 +21,8 @@ fn main() {
     let on = JitOptions { schedule_alignment: false, fold_constants: true, prealign_constants: true };
     let off = JitOptions::none();
 
-    let exprs: [(&str, Box<dyn Fn(DecimalType) -> Expr>); 3] = [
+    type ExprBuilder = Box<dyn Fn(DecimalType) -> Expr>;
+    let exprs: [(&str, ExprBuilder); 3] = [
         (
             "1 + a + 2 + 11",
             Box::new(|t| {

@@ -28,6 +28,10 @@ pub struct Database {
     /// TPI for multi-threaded expression evaluation (1 = single-thread
     /// kernels; §IV-C1 sweeps 1/4/8/16/32).
     pub expr_tpi: u32,
+    /// Host-side simulator parallelism for kernel launches. Results and
+    /// modeled times are bit-identical across settings; only host wall
+    /// time changes.
+    pub sim_par: up_gpusim::SimParallelism,
 }
 
 impl Database {
@@ -40,6 +44,7 @@ impl Database {
             jit: JitEngine::with_defaults(),
             agg_tpi: 8,
             expr_tpi: 1,
+            sim_par: up_gpusim::SimParallelism::default(),
         }
     }
 
@@ -49,7 +54,15 @@ impl Database {
         device: DeviceConfig,
         jit: JitEngine,
     ) -> Database {
-        Database { catalog: Catalog::new(), device, profile, jit, agg_tpi: 8, expr_tpi: 1 }
+        Database {
+            catalog: Catalog::new(),
+            device,
+            profile,
+            jit,
+            agg_tpi: 8,
+            expr_tpi: 1,
+            sim_par: up_gpusim::SimParallelism::default(),
+        }
     }
 
     /// The active profile.
@@ -63,28 +76,31 @@ impl Database {
         self.profile = profile;
     }
 
-    /// Creates (or replaces) a table.
+    /// Creates (or replaces) a table. DDL: needs exclusive database
+    /// access (the catalog map itself changes).
     pub fn create_table(&mut self, name: &str, schema: Schema) {
         self.catalog.put(Table::new(name, schema));
     }
 
-    /// Appends one row.
-    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), NumError> {
+    /// Appends one row. Takes `&self`: the catalog is lock-striped, so
+    /// this only write-locks the target table — inserts into disjoint
+    /// tables (and queries over other tables) proceed in parallel.
+    pub fn insert(&self, table: &str, row: Vec<Value>) -> Result<(), NumError> {
         self.catalog
-            .get_mut(table)
+            .write(table)
             .unwrap_or_else(|| panic!("unknown table {table}"))
             .push_row(row)
     }
 
-    /// Bulk-appends rows.
+    /// Bulk-appends rows under one per-table write lock.
     pub fn insert_many(
-        &mut self,
+        &self,
         table: &str,
         rows: impl IntoIterator<Item = Vec<Value>>,
     ) -> Result<(), NumError> {
-        let t = self
+        let mut t = self
             .catalog
-            .get_mut(table)
+            .write(table)
             .unwrap_or_else(|| panic!("unknown table {table}"));
         for row in rows {
             t.push_row(row)?;
@@ -92,14 +108,15 @@ impl Database {
         Ok(())
     }
 
-    /// Direct table access (workload generators write columns in bulk).
-    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.catalog.get_mut(name)
+    /// Write access to one table (workload generators write columns in
+    /// bulk). Holds that table's write lock for the guard's lifetime.
+    pub fn table_mut(&self, name: &str) -> Option<std::sync::RwLockWriteGuard<'_, Table>> {
+        self.catalog.write(name)
     }
 
-    /// Read-only table access.
-    pub fn table(&self, name: &str) -> Option<&Table> {
-        self.catalog.get(name)
+    /// Read-only table access (holds the table's read lock).
+    pub fn table(&self, name: &str) -> Option<std::sync::RwLockReadGuard<'_, Table>> {
+        self.catalog.read(name)
     }
 
     /// Parses, plans, and executes one `SELECT` under the database's
@@ -121,6 +138,7 @@ impl Database {
             jit: &self.jit,
             agg_tpi: self.agg_tpi,
             expr_tpi: self.expr_tpi,
+            sim_par: self.sim_par,
         };
         execute(&plan, &mut ctx)
     }
@@ -249,7 +267,7 @@ impl Database {
             .table(name)
             .ok_or_else(|| crate::persist::PersistError::Corrupt(format!("no table {name}")))?;
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        crate::persist::save(t, &mut f)
+        crate::persist::save(&t, &mut f)
     }
 
     /// Loads a table file into the catalog (replacing any same-named
@@ -530,6 +548,46 @@ mod tests {
                 assert_eq!(x.cmp_value(y), std::cmp::Ordering::Equal, "tpi={tpi}");
             }
             assert!(r.modeled.kernel_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn sim_parallelism_keeps_results_and_modeled_time_bit_identical() {
+        use up_gpusim::SimParallelism;
+        // Enough rows that `Auto` would actually go parallel on a
+        // multi-core host (past the small-launch threshold); explicit
+        // `Threads(n)` exercises the journaled parallel path everywhere.
+        let wide = dt(40, 4);
+        let run = |par: SimParallelism| {
+            let mut db = Database::new(Profile::UltraPrecise);
+            db.sim_par = par;
+            db.create_table("w", Schema::new(vec![("x", ColumnType::Decimal(wide))]));
+            let rows = (1..=4096i64).map(|i| {
+                vec![Value::Decimal(
+                    UpDecimal::from_scaled_i64(i * 123_456_789, wide).unwrap(),
+                )]
+            });
+            db.insert_many("w", rows).unwrap();
+            db.query("SELECT x * x + x FROM w").unwrap()
+        };
+        let serial = run(SimParallelism::Serial);
+        for par in [
+            SimParallelism::Threads(1),
+            SimParallelism::Threads(8),
+            SimParallelism::Auto,
+        ] {
+            let r = run(par);
+            assert_eq!(serial.rows.len(), r.rows.len(), "{par}");
+            for (a, b) in serial.rows.iter().zip(&r.rows) {
+                assert_eq!(a[0].render(), b[0].render(), "{par}");
+            }
+            assert_eq!(
+                serial.modeled.kernel_s.to_bits(),
+                r.modeled.kernel_s.to_bits(),
+                "{par}: modeled kernel time must be bit-equal to serial"
+            );
+            assert_eq!(serial.modeled.pcie_s.to_bits(), r.modeled.pcie_s.to_bits(), "{par}");
+            assert_eq!(r.kernels, serial.kernels, "{par}");
         }
     }
 

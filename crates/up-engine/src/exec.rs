@@ -194,20 +194,39 @@ pub struct ExecCtx<'a> {
     /// TPI for multi-threaded *expression* evaluation (§III-E1); 1 =
     /// the single-thread-per-tuple kernels of Listing 1.
     pub expr_tpi: u32,
+    /// Host-side simulator parallelism (blocks across host cores).
+    /// Bit-identical results and stats regardless of setting.
+    pub sim_par: up_gpusim::SimParallelism,
 }
 
 /// Runs a plan.
 pub fn execute(plan: &QueryPlan, ctx: &mut ExecCtx<'_>) -> Result<QueryResult, QueryError> {
     let t0 = Instant::now();
+    // The catalog is lock-striped per table: read-lock every scanned
+    // table in sorted lowercase-name order (the global lock order shared
+    // with `plan::plan`), then reference the guards in plan order.
+    let mut lock_names: Vec<String> =
+        plan.tables.iter().map(|n| n.to_lowercase()).collect();
+    lock_names.sort();
+    lock_names.dedup();
+    let guards: Vec<_> = lock_names
+        .iter()
+        .map(|n| {
+            ctx.catalog
+                .read(n)
+                .ok_or_else(|| QueryError::Plan(crate::plan::PlanError(format!("missing table {n}"))))
+        })
+        .collect::<Result<_, _>>()?;
     let tables: Vec<&Table> = plan
         .tables
         .iter()
         .map(|n| {
-            ctx.catalog
-                .get(n)
-                .ok_or_else(|| QueryError::Plan(crate::plan::PlanError(format!("missing table {n}"))))
+            let i = lock_names
+                .binary_search(&n.to_lowercase())
+                .expect("locked above");
+            &*guards[i]
         })
-        .collect::<Result<_, _>>()?;
+        .collect();
 
     let mut modeled = ModeledTime::default();
     let cost = ctx.profile.system_cost();
@@ -952,7 +971,8 @@ fn eval_decimal_gpu_jit(
             pcie_bytes += (n * out_lb) as u64;
 
             let cfg = LaunchConfig::for_tuples(n as u64, 256, ctx.device);
-            let stats = up_gpusim::launch(&k.kernel, cfg, ctx.device, &mut mem, &[n as u32])
+            let stats =
+                up_gpusim::launch_with(&k.kernel, cfg, ctx.device, &mut mem, &[n as u32], ctx.sim_par)
                 .map_err(|e| match e {
                     up_gpusim::SimError::DivisionByZero { .. } => {
                         QueryError::Num(NumError::DivisionByZero)

@@ -477,18 +477,38 @@ impl<'a> Binder<'a> {
 
 /// Plans a parsed select against the catalog.
 pub fn plan(select: &Select, catalog: &Catalog) -> Result<QueryPlan, PlanError> {
-    let base = catalog
-        .get(&select.from)
-        .ok_or_else(|| PlanError(format!("unknown table {}", select.from)))?;
+    // Read-lock every referenced table in sorted lowercase-name order —
+    // the same global lock order `exec::execute` uses, so concurrent
+    // multi-table queries cannot deadlock (the catalog is lock-striped
+    // per table).
+    let mut lock_names: Vec<String> = std::iter::once(select.from.to_lowercase())
+        .chain(select.joins.iter().map(|j| j.table.to_lowercase()))
+        .collect();
+    lock_names.sort();
+    lock_names.dedup();
+    let guards: Vec<_> = lock_names
+        .iter()
+        .map(|n| {
+            catalog
+                .read(n)
+                .ok_or_else(|| PlanError(format!("unknown table {n}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let table_ref = |name: &str| -> &Table {
+        let i = lock_names
+            .binary_search(&name.to_lowercase())
+            .expect("locked above");
+        &guards[i]
+    };
+
+    let base = table_ref(&select.from);
     let mut binder = Binder {
         tables: vec![(select.from_alias.clone(), select.from.clone(), base)],
     };
     let mut tables = vec![select.from.clone()];
     let mut joins = Vec::new();
     for Join { table, alias, on } in &select.joins {
-        let t = catalog
-            .get(table)
-            .ok_or_else(|| PlanError(format!("unknown table {table}")))?;
+        let t = table_ref(table);
         binder.tables.push((alias.clone(), table.clone(), t));
         tables.push(table.clone());
         let this_ti = binder.tables.len() - 1;

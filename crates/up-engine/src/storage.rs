@@ -8,6 +8,7 @@
 //! the metadata of the relation"), never per value.
 
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use up_num::{encode_compact_into, DecimalType, NumError, UpDecimal};
 
 /// A column's declared type.
@@ -215,10 +216,18 @@ impl Value {
     }
 }
 
-/// The table catalog.
+/// The table catalog, lock-striped per table.
+///
+/// Each table sits behind its own `RwLock`, so row appends into
+/// *different* tables proceed in parallel and never block readers of
+/// other tables — only the catalog map itself (DDL: create/replace)
+/// needs `&mut Catalog`. Callers that lock **more than one** table must
+/// acquire the guards in sorted lowercase-name order; that single global
+/// order is what makes multi-table queries deadlock-free against each
+/// other (see `exec::execute` and `plan::plan`).
 #[derive(Default)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<RwLock<Table>>>,
 }
 
 impl Catalog {
@@ -228,18 +237,30 @@ impl Catalog {
     }
 
     /// Registers a table (replacing any previous one of the same name).
+    /// DDL: requires exclusive catalog access.
     pub fn put(&mut self, table: Table) {
-        self.tables.insert(table.name.clone(), table);
+        self.tables.insert(table.name.clone(), Arc::new(RwLock::new(table)));
     }
 
-    /// Looks a table up.
-    pub fn get(&self, name: &str) -> Option<&Table> {
-        self.tables.get(&name.to_lowercase())
+    /// The per-table lock handle (survives even if the catalog entry is
+    /// later replaced).
+    pub fn handle(&self, name: &str) -> Option<Arc<RwLock<Table>>> {
+        self.tables.get(&name.to_lowercase()).cloned()
     }
 
-    /// Mutable lookup.
-    pub fn get_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.get_mut(&name.to_lowercase())
+    /// Read-locks a table.
+    pub fn read(&self, name: &str) -> Option<RwLockReadGuard<'_, Table>> {
+        self.tables
+            .get(&name.to_lowercase())
+            .map(|t| t.read().expect("table lock poisoned"))
+    }
+
+    /// Write-locks a table (row appends; schema edits still go through
+    /// [`Catalog::put`]).
+    pub fn write(&self, name: &str) -> Option<RwLockWriteGuard<'_, Table>> {
+        self.tables
+            .get(&name.to_lowercase())
+            .map(|t| t.write().expect("table lock poisoned"))
     }
 
     /// Table names.
@@ -295,7 +316,18 @@ mod tests {
     fn catalog_is_case_insensitive() {
         let mut cat = Catalog::new();
         cat.put(Table::new("LineItem", Schema::default()));
-        assert!(cat.get("lineitem").is_some());
-        assert!(cat.get("LINEITEM").is_some());
+        assert!(cat.read("lineitem").is_some());
+        assert!(cat.read("LINEITEM").is_some());
+    }
+
+    #[test]
+    fn table_locks_stripe_independently() {
+        let mut cat = Catalog::new();
+        cat.put(Table::new("a", Schema::default()));
+        cat.put(Table::new("b", Schema::default()));
+        // Holding a write lock on one table must not block the other.
+        let _wa = cat.write("a").unwrap();
+        let rb = cat.read("b").unwrap();
+        assert_eq!(rb.rows, 0);
     }
 }

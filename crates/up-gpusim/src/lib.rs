@@ -15,13 +15,18 @@ pub mod disasm;
 pub mod cost;
 pub mod device;
 pub mod exec;
+pub mod par;
 pub mod profiler;
 pub mod ptx;
 pub mod reduce;
 pub mod stream;
 
 pub use device::DeviceConfig;
-pub use exec::{launch, launch_sampled, ExecStats, GlobalMem, LaunchConfig, SimError};
+pub use exec::{
+    launch, launch_sampled, launch_sampled_with, launch_with, ExecStats, GlobalMem, LaunchConfig,
+    SimError,
+};
+pub use par::SimParallelism;
 pub use ptx::{CmpOp, Inst, Kernel, KernelBuilder, PReg, Reg, Special, Stmt};
 
 /// log₂(10) — bit-per-decimal-digit conversion used by cost formulas.

@@ -1,0 +1,248 @@
+//! Host-side parallelism control for the functional simulator.
+//!
+//! The simulator executes independent blocks on multiple host cores (see
+//! [`crate::exec`]). Two pieces live here:
+//!
+//! * [`SimParallelism`] — the user-facing knob (`serial` | `threads(N)` |
+//!   `auto`), carried by execution profiles and the server config.
+//! * A **shared global worker budget**: every launch draws its extra
+//!   worker threads from one process-wide token pool sized to the host's
+//!   core count. Concurrent launches (e.g. `up-server` query workers that
+//!   each run kernels) therefore share the machine instead of multiplying
+//!   thread counts — the composition property a shared rayon pool would
+//!   give, without nesting pools.
+//!
+//! `Auto` never oversubscribes: a launch runs on the caller thread plus
+//! however many tokens it can get. An explicit `Threads(n)` is a demand
+//! and always uses `n` workers (it still draws tokens so concurrent
+//! `Auto` launches back off), which keeps the parallel code path
+//! exercised even on small machines.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::OnceLock;
+
+/// How many host threads a simulated launch may use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimParallelism {
+    /// Single-threaded reference mode: blocks run in index order on the
+    /// calling thread, writing straight into [`crate::GlobalMem`].
+    Serial,
+    /// Exactly this many worker threads (including the caller).
+    Threads(u32),
+    /// Caller plus as many workers as the shared global budget allows,
+    /// up to the host's core count (overridable via the
+    /// `UP_SIM_THREADS` environment variable).
+    #[default]
+    Auto,
+}
+
+impl SimParallelism {
+    /// The worker count this knob aims for (≥ 1, including the caller).
+    pub fn worker_target(self) -> usize {
+        match self {
+            SimParallelism::Serial => 1,
+            SimParallelism::Threads(n) => n.max(1) as usize,
+            SimParallelism::Auto => auto_threads(),
+        }
+    }
+
+    /// Parses `serial`, `auto`, or a thread count (for CLI flags).
+    pub fn parse(s: &str) -> Option<SimParallelism> {
+        match s {
+            "serial" => Some(SimParallelism::Serial),
+            "auto" => Some(SimParallelism::Auto),
+            n => n.parse::<u32>().ok().map(SimParallelism::Threads),
+        }
+    }
+}
+
+impl std::fmt::Display for SimParallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimParallelism::Serial => write!(f, "serial"),
+            SimParallelism::Threads(n) => write!(f, "threads({n})"),
+            SimParallelism::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// Host core count, honoring the `UP_SIM_THREADS` override (read once).
+pub fn auto_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if let Some(n) = std::env::var("UP_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        host_cores()
+    })
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-wide budget of *extra* worker threads (the caller thread
+/// of each launch is free). Sized to cores − 1 so the total number of
+/// running simulator threads across all concurrent launches stays at the
+/// core count.
+fn extra_budget() -> &'static AtomicIsize {
+    static POOL: OnceLock<AtomicIsize> = OnceLock::new();
+    POOL.get_or_init(|| AtomicIsize::new(auto_threads() as isize - 1))
+}
+
+/// Tokens for extra worker threads, returned to the budget on drop.
+pub struct WorkerTokens {
+    granted: usize,
+}
+
+impl WorkerTokens {
+    /// Extra workers actually granted.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for WorkerTokens {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            extra_budget().fetch_add(self.granted as isize, Ordering::Release);
+        }
+    }
+}
+
+/// Takes up to `wanted` extra-worker tokens from the shared budget
+/// (non-blocking — a saturated budget simply grants fewer).
+pub fn acquire_extra(wanted: usize) -> WorkerTokens {
+    if wanted == 0 {
+        return WorkerTokens { granted: 0 };
+    }
+    let pool = extra_budget();
+    let mut cur = pool.load(Ordering::Acquire);
+    loop {
+        let take = cur.clamp(0, wanted as isize);
+        if take == 0 {
+            return WorkerTokens { granted: 0 };
+        }
+        match pool.compare_exchange_weak(cur, cur - take, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return WorkerTokens { granted: take as usize },
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// A fast, non-cryptographic hasher (FxHash-style multiply-xor) for the
+/// executor's hot per-warp sector sets and per-block write journals —
+/// SipHash dominates profile time there.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+#[derive(Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_parses_and_displays() {
+        assert_eq!(SimParallelism::parse("serial"), Some(SimParallelism::Serial));
+        assert_eq!(SimParallelism::parse("auto"), Some(SimParallelism::Auto));
+        assert_eq!(SimParallelism::parse("6"), Some(SimParallelism::Threads(6)));
+        assert_eq!(SimParallelism::parse("bogus"), None);
+        assert_eq!(SimParallelism::Threads(6).to_string(), "threads(6)");
+        assert_eq!(SimParallelism::Serial.worker_target(), 1);
+        assert_eq!(SimParallelism::Threads(0).worker_target(), 1);
+        assert!(SimParallelism::Auto.worker_target() >= 1);
+    }
+
+    #[test]
+    fn budget_tokens_come_back() {
+        let before = extra_budget().load(Ordering::Acquire);
+        {
+            let t = acquire_extra(usize::MAX / 2);
+            assert_eq!(t.granted() as isize, before.max(0));
+            let empty = acquire_extra(4);
+            assert_eq!(empty.granted(), 0);
+        }
+        assert_eq!(extra_budget().load(Ordering::Acquire), before);
+    }
+
+    #[test]
+    fn fx_hash_distinguishes_nearby_keys() {
+        use std::hash::{BuildHasher, Hash};
+        let bh = FxBuildHasher;
+        let h = |k: (u8, u32)| {
+            let mut hasher = bh.build_hasher();
+            k.hash(&mut hasher);
+            std::hash::Hasher::finish(&hasher)
+        };
+        assert_ne!(h((0, 1)), h((0, 2)));
+        assert_ne!(h((0, 1)), h((1, 1)));
+    }
+}

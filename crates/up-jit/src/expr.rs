@@ -37,6 +37,10 @@ pub enum Expr {
     Mod(Box<Expr>, Box<Expr>),
 }
 
+// Consuming builder methods named after the SQL operators they emit;
+// implementing the std operator traits would require `Clone` bounds the
+// call sites don't want.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Column reference helper.
     pub fn col(index: usize, ty: DecimalType, name: impl Into<String>) -> Expr {

@@ -26,6 +26,9 @@ pub enum Sign {
     Plus,
 }
 
+// Inherent `neg`/`mul` are deliberate: `Sign` is not a number, these are
+// the sign-algebra rules, and operator sugar would suggest otherwise.
+#[allow(clippy::should_implement_trait)]
 impl Sign {
     /// The opposite sign; zero stays zero.
     pub fn neg(self) -> Sign {

@@ -64,7 +64,7 @@ impl UpDecimal {
         let (int, digits_after) = parse_unscaled(s)?;
         let digits = int.dec_digits();
         let scale = digits_after;
-        let precision = digits.max(scale.max(1)).max(scale + if digits > scale { digits - scale } else { 0 });
+        let precision = digits.max(scale.max(1)).max(scale + digits.saturating_sub(scale));
         // precision = total significant digits, at least enough to carry the scale.
         let precision = precision.max(digits).max(scale.max(1));
         let ty = DecimalType::new(precision, scale)?;

@@ -197,7 +197,7 @@ pub fn div_rem_newton(a: &[Limb], b: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
     // Quadratic convergence: ~30 correct bits double per step.
     let two_pow_k1 = limbs::shl_bits(&[1], k + 1);
     let mut iters = 0;
-    let max_iters = 2 * (64 - (k as u64).leading_zeros() as usize) + 4;
+    let max_iters = 2 * (64 - k.leading_zeros() as usize) + 4;
     loop {
         // e = 2^(k+1) − b·x ;  x' = (x · e) >> k
         let bx = mul::mul(b, &x);

@@ -22,8 +22,15 @@
 //!   hit rate, and modeled SM-seconds, snapshotable as a plain struct or
 //!   a printable text report.
 //!
-//! Reads run concurrently (the engine's `query` takes `&self`); writes
-//! (DDL, inserts) serialize through an `RwLock` around the database.
+//! Reads run concurrently (the engine's `query` takes `&self`). The
+//! engine's catalog is lock-striped per table, so row inserts take the
+//! server's read lock plus one table's write lock — inserts into
+//! disjoint tables proceed in parallel with each other and with queries
+//! over other tables. Only DDL (create/replace table) takes the global
+//! write lock. Simulated kernels inside queries additionally fan out
+//! over host cores ([`up_gpusim::SimParallelism`]); worker threads and
+//! simulator threads share one process-wide budget, so the two layers of
+//! parallelism compose instead of oversubscribing.
 //!
 //! ```
 //! use up_engine::{ColumnType, Profile, Schema, Value};

@@ -7,11 +7,21 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 use ultraprecise::prelude::*;
 
 fn main() {
     // A server with a 4-thread worker pool over 4 simulated CUDA streams.
+    // Kernel launches inside queries additionally parallelize across host
+    // cores (SimParallelism::Auto); simulator threads and query workers
+    // draw from one shared budget, so the layers compose.
     let server = Arc::new(UpServer::new(ServerConfig::default()));
+    println!(
+        "simulator threads: {} effective on this host (SimParallelism::Auto, \
+         shared with {} query workers)",
+        up_gpusim::par::auto_threads(),
+        ServerConfig::default().workers,
+    );
 
     // Load a table of wide decimals (write path: serialized, drains
     // readers).
@@ -47,14 +57,16 @@ fn main() {
                 let session = server.connect(Profile::UltraPrecise);
                 for i in 0..6 {
                     let sql = queries[(c + i) % queries.len()];
+                    let t0 = Instant::now();
                     match server.query(session, sql) {
                         Ok(r) => {
                             if c == 0 && i < queries.len() {
                                 println!(
-                                    "client {c}: {} -> {} row(s), modeled {:.3} ms \
-                                     (of which stream queueing {:.3} ms)",
+                                    "client {c}: {} -> {} row(s), host {:.3} ms, \
+                                     modeled {:.3} ms (of which stream queueing {:.3} ms)",
                                     sql,
                                     r.rows.len(),
+                                    t0.elapsed().as_secs_f64() * 1e3,
                                     r.modeled.total() * 1e3,
                                     r.modeled.queue_s * 1e3,
                                 );

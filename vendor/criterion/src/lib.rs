@@ -1,0 +1,315 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This environment has no registry access, so the workspace vendors the
+//! subset of the criterion 0.5 API its benches use: `Criterion` with
+//! `benchmark_group`/`bench_function`, groups with `bench_with_input`,
+//! `throughput`, `sample_size`, `finish`, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: per benchmark it warms up, then
+//! times batches until the measurement budget elapses and reports the
+//! median batch ns/iter (plus throughput when configured). There are no
+//! statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Hook for CLI configuration; accepted and ignored by this shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_one(&cfg, &name.into(), &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work per iteration, enabling rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one_with_throughput(&cfg, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (strings or explicit ids).
+pub trait IntoBenchmarkId {
+    /// Converts into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Times closures passed to `iter`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the requested number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, label: &str, f: &mut F) {
+    run_one_with_throughput(cfg, label, None, f)
+}
+
+fn run_one_with_throughput<F: FnMut(&mut Bencher)>(
+    cfg: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm up and size the batch so one batch is ~1/sample_size of the
+    // measurement budget.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_micros(1);
+    loop {
+        let t = time_batch(f, iters);
+        if !t.is_zero() {
+            per_iter = t / iters as u32;
+        }
+        if warm_start.elapsed() >= cfg.warm_up_time || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let budget = cfg.measurement_time.max(Duration::from_millis(1));
+    let per_sample = budget / cfg.sample_size as u32;
+    let batch = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    let measure_start = Instant::now();
+    for _ in 0..cfg.sample_size {
+        let t = time_batch(f, batch);
+        samples.push(t.as_nanos() as f64 / batch as f64);
+        if measure_start.elapsed() > budget.saturating_mul(4) {
+            break; // Budget blown (slow benchmark); keep what we have.
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 * 1e9 / median),
+        Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 * 1e9 / median),
+    });
+    println!(
+        "bench {label:<48} {:>14} ns/iter{}",
+        format_ns(median),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.0}", ns)
+    } else if ns >= 100.0 {
+        format!("{:.1}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching criterion's `black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}
