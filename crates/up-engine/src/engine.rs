@@ -32,6 +32,11 @@ pub struct Database {
     /// modeled times are bit-identical across settings; only host wall
     /// time changes.
     pub sim_par: up_gpusim::SimParallelism,
+    /// Plan-level launch pipelining (see `up_gpusim::pipeline`): overlaps
+    /// JIT compilation, transfers, and execution across a query's
+    /// independent expression slots. Rows and modeled times stay
+    /// bit-identical across modes. Defaults from `UP_PIPELINE`.
+    pub pipeline: up_gpusim::PipelineMode,
 }
 
 impl Database {
@@ -45,6 +50,7 @@ impl Database {
             agg_tpi: 8,
             expr_tpi: 1,
             sim_par: up_gpusim::SimParallelism::default(),
+            pipeline: up_gpusim::PipelineMode::from_env().unwrap_or_default(),
         }
     }
 
@@ -62,6 +68,7 @@ impl Database {
             agg_tpi: 8,
             expr_tpi: 1,
             sim_par: up_gpusim::SimParallelism::default(),
+            pipeline: up_gpusim::PipelineMode::from_env().unwrap_or_default(),
         }
     }
 
@@ -131,7 +138,7 @@ impl Database {
     pub fn query_as(&self, profile: Profile, sql: &str) -> Result<QueryResult, QueryError> {
         let select = parse_select(sql).map_err(QueryError::Parse)?;
         let plan = plan(&select, &self.catalog).map_err(QueryError::Plan)?;
-        let mut ctx = ExecCtx {
+        let ctx = ExecCtx {
             catalog: &self.catalog,
             profile,
             device: &self.device,
@@ -139,8 +146,9 @@ impl Database {
             agg_tpi: self.agg_tpi,
             expr_tpi: self.expr_tpi,
             sim_par: self.sim_par,
+            pipeline: self.pipeline,
         };
-        execute(&plan, &mut ctx)
+        execute(&plan, &ctx)
     }
 
     /// JIT kernel-cache statistics (hits, misses, evictions, occupancy).
@@ -588,6 +596,55 @@ mod tests {
             );
             assert_eq!(serial.modeled.pcie_s.to_bits(), r.modeled.pcie_s.to_bits(), "{par}");
             assert_eq!(r.kernels, serial.kernels, "{par}");
+        }
+    }
+
+    #[test]
+    fn pipeline_mode_keeps_results_and_modeled_time_bit_identical() {
+        use up_gpusim::PipelineMode;
+        // Four expression slots: two distinct kernels, one duplicate
+        // signature (forces a DAG dependency edge + guaranteed cache
+        // hit), one more distinct — plus COUNT(*), which is not a slot.
+        let wide = dt(40, 4);
+        let sql = "SELECT SUM(x * x + x), SUM(x + x), MIN(x * x + x), MAX(x - x * x), COUNT(*) FROM w";
+        let run = |mode: PipelineMode| {
+            let mut db = Database::new(Profile::UltraPrecise);
+            db.pipeline = mode;
+            db.create_table("w", Schema::new(vec![("x", ColumnType::Decimal(wide))]));
+            let rows = (1..=512i64).map(|i| {
+                vec![Value::Decimal(
+                    UpDecimal::from_scaled_i64(i * 123_456_789, wide).unwrap(),
+                )]
+            });
+            db.insert_many("w", rows).unwrap();
+            let r = db.query(sql).unwrap();
+            (r, db.jit_stats())
+        };
+        let (off, off_stats) = run(PipelineMode::Off);
+        assert!(off.pipeline.is_none());
+        for mode in [PipelineMode::On(2), PipelineMode::On(8)] {
+            let (r, stats) = run(mode);
+            assert_eq!(off.rows.len(), r.rows.len(), "{mode}");
+            for (a, b) in off.rows.iter().zip(&r.rows) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.render(), y.render(), "{mode}");
+                }
+            }
+            // The full modeled breakdown — including compile attribution —
+            // must be bit-equal, not just close.
+            assert_eq!(off.modeled.compile_s.to_bits(), r.modeled.compile_s.to_bits(), "{mode}");
+            assert_eq!(off.modeled.kernel_s.to_bits(), r.modeled.kernel_s.to_bits(), "{mode}");
+            assert_eq!(off.modeled.pcie_s.to_bits(), r.modeled.pcie_s.to_bits(), "{mode}");
+            assert_eq!(off.modeled.cpu_s.to_bits(), r.modeled.cpu_s.to_bits(), "{mode}");
+            assert_eq!(off.kernels, r.kernels, "{mode}");
+            // Same compile miss/hit pattern as serial (duplicate
+            // signature hits the cache in both modes).
+            assert_eq!((off_stats.hits, off_stats.misses), (stats.hits, stats.misses), "{mode}");
+            // The side-band report is present and self-consistent.
+            let p = r.pipeline.expect("pipelined run reports a timeline");
+            assert!(p.nodes >= 4, "{mode}: {p:?}");
+            assert!(p.makespan_s <= p.serial_s + 1e-12, "{mode}: {p:?}");
+            assert!(p.utilization >= 0.0 && p.utilization <= 1.0, "{mode}");
         }
     }
 

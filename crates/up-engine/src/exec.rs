@@ -24,8 +24,9 @@ use up_baselines::soft_decimal::SoftDecimal;
 use up_baselines::AltDecimal;
 use up_gpusim::cgbn::Tpi;
 use up_gpusim::cost::kernel_time;
-use up_gpusim::{DeviceConfig, GlobalMem, LaunchConfig};
-use up_jit::cache::{Compiled, JitEngine};
+use up_gpusim::pipeline::{plan_timeline, run_dag, DagNodeCost, PipelineMode, PipelineReport};
+use up_gpusim::{DeviceConfig, GlobalMem};
+use up_jit::cache::{CompileHandle, CompileInfo, Compiled, JitEngine};
 use up_jit::Expr;
 use up_num::{DecimalType, NumError, UpDecimal};
 
@@ -176,6 +177,11 @@ pub struct QueryResult {
     pub modeled: ModeledTime,
     /// GPU kernels launched.
     pub kernels: usize,
+    /// The modeled pipeline timeline, when the plan ran through the
+    /// launch DAG (`None` under [`PipelineMode::Off`] or when the plan
+    /// had fewer than two independent slots). Kept separate from
+    /// `modeled`, whose breakdown stays bit-identical across modes.
+    pub pipeline: Option<PipelineReport>,
 }
 
 /// Execution context.
@@ -197,10 +203,14 @@ pub struct ExecCtx<'a> {
     /// Host-side simulator parallelism (blocks across host cores).
     /// Bit-identical results and stats regardless of setting.
     pub sim_par: up_gpusim::SimParallelism,
+    /// Plan-level launch pipelining (DAG-parallel expression slots).
+    /// Bit-identical results and modeled times regardless of setting;
+    /// only host wall-clock and the side-band [`PipelineReport`] change.
+    pub pipeline: PipelineMode,
 }
 
 /// Runs a plan.
-pub fn execute(plan: &QueryPlan, ctx: &mut ExecCtx<'_>) -> Result<QueryResult, QueryError> {
+pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, QueryError> {
     let t0 = Instant::now();
     // The catalog is lock-striped per table: read-lock every scanned
     // table in sorted lowercase-name order (the global lock order shared
@@ -307,6 +317,21 @@ pub fn execute(plan: &QueryPlan, ctx: &mut ExecCtx<'_>) -> Result<QueryResult, Q
     // so compile time is the front-end cost once plus the marginal
     // back-end cost of the additional kernels.
     let mut compile_parts: Vec<f64> = Vec::new();
+
+    // Plan-level launch pipelining: with two or more independent scalar
+    // slots, evaluate them through the launch DAG up front, then replay
+    // the serial plan-order merge over the per-slot outputs below so
+    // rows and the modeled breakdown stay bit-identical to Off.
+    let slots = plan.eval_slots();
+    let mut pipeline_report: Option<PipelineReport> = None;
+    let mut pipelined: Option<std::vec::IntoIter<SlotNodeOut>> =
+        if ctx.pipeline.enabled() && slots.len() >= 2 {
+            let (outs, report) = eval_slots_pipelined(ctx, &slots, &tables, &sel, n)?;
+            pipeline_report = Some(report);
+            Some(outs.into_iter())
+        } else {
+            None
+        };
     let mut out_rows: Vec<Vec<Value>>;
     let mut columns: Vec<String> = plan.items.iter().map(|i| i.name.clone()).collect();
     let _ = &mut columns;
@@ -344,36 +369,59 @@ pub fn execute(plan: &QueryPlan, ctx: &mut ExecCtx<'_>) -> Result<QueryResult, Q
         for item in &plan.items {
             match &item.kind {
                 OutputKind::Agg(f, scalar) => {
-                    let (vals, mut m, k) = eval_scalar_column(ctx, scalar, &tables, &sel, n)?;
-                    if m.compile_s > 0.0 {
-                        compile_parts.push(m.compile_s);
-                        m.compile_s = 0.0;
-                    }
-                    modeled.add(&m);
-                    kernels += k;
-                    modeled.add(&price_aggregation(ctx, *f, scalar, &vals, n));
+                    let vals = match pipelined.as_mut() {
+                        Some(it) => merge_slot_out(
+                            it.next().expect("one DAG node per aggregate input"),
+                            &mut modeled,
+                            &mut kernels,
+                            &mut compile_parts,
+                        ),
+                        None => {
+                            let (vals, mut m, k) =
+                                eval_scalar_column(ctx, scalar, &tables, &sel, n)?;
+                            if m.compile_s > 0.0 {
+                                compile_parts.push(m.compile_s);
+                                m.compile_s = 0.0;
+                            }
+                            modeled.add(&m);
+                            kernels += k;
+                            modeled.add(&price_aggregation(ctx, *f, scalar, &vals, n));
+                            vals
+                        }
+                    };
                     agg_inputs.push(vec![Some(vals)]);
                 }
                 OutputKind::AggCombo { aggs, .. } => {
-                    let mut slots = Vec::with_capacity(aggs.len());
+                    let mut agg_slots = Vec::with_capacity(aggs.len());
                     for (f, scalar) in aggs {
                         match scalar {
                             Some(sc) => {
-                                let (vals, mut m, k) =
-                                    eval_scalar_column(ctx, sc, &tables, &sel, n)?;
-                                if m.compile_s > 0.0 {
-                                    compile_parts.push(m.compile_s);
-                                    m.compile_s = 0.0;
-                                }
-                                modeled.add(&m);
-                                kernels += k;
-                                modeled.add(&price_aggregation(ctx, *f, sc, &vals, n));
-                                slots.push(Some(vals));
+                                let vals = match pipelined.as_mut() {
+                                    Some(it) => merge_slot_out(
+                                        it.next().expect("one DAG node per aggregate input"),
+                                        &mut modeled,
+                                        &mut kernels,
+                                        &mut compile_parts,
+                                    ),
+                                    None => {
+                                        let (vals, mut m, k) =
+                                            eval_scalar_column(ctx, sc, &tables, &sel, n)?;
+                                        if m.compile_s > 0.0 {
+                                            compile_parts.push(m.compile_s);
+                                            m.compile_s = 0.0;
+                                        }
+                                        modeled.add(&m);
+                                        kernels += k;
+                                        modeled.add(&price_aggregation(ctx, *f, sc, &vals, n));
+                                        vals
+                                    }
+                                };
+                                agg_slots.push(Some(vals));
                             }
-                            None => slots.push(None),
+                            None => agg_slots.push(None),
                         }
                     }
-                    agg_inputs.push(slots);
+                    agg_inputs.push(agg_slots);
                 }
                 _ => agg_inputs.push(Vec::new()),
             }
@@ -416,13 +464,24 @@ pub fn execute(plan: &QueryPlan, ctx: &mut ExecCtx<'_>) -> Result<QueryResult, Q
         for item in &plan.items {
             match &item.kind {
                 OutputKind::Scalar(s) => {
-                    let (vals, mut m, k) = eval_scalar_column(ctx, s, &tables, &sel, n)?;
-                    if m.compile_s > 0.0 {
-                        compile_parts.push(m.compile_s);
-                        m.compile_s = 0.0;
-                    }
-                    modeled.add(&m);
-                    kernels += k;
+                    let vals = match pipelined.as_mut() {
+                        Some(it) => merge_slot_out(
+                            it.next().expect("one DAG node per projection"),
+                            &mut modeled,
+                            &mut kernels,
+                            &mut compile_parts,
+                        ),
+                        None => {
+                            let (vals, mut m, k) = eval_scalar_column(ctx, s, &tables, &sel, n)?;
+                            if m.compile_s > 0.0 {
+                                compile_parts.push(m.compile_s);
+                                m.compile_s = 0.0;
+                            }
+                            modeled.add(&m);
+                            kernels += k;
+                            vals
+                        }
+                    };
                     cols.push(vals);
                 }
                 OutputKind::Key(w) => {
@@ -479,6 +538,7 @@ pub fn execute(plan: &QueryPlan, ctx: &mut ExecCtx<'_>) -> Result<QueryResult, Q
         wall_s: t0.elapsed().as_secs_f64(),
         modeled,
         kernels,
+        pipeline: pipeline_report,
     })
 }
 
@@ -655,7 +715,7 @@ fn width_factor(p: u32) -> f64 {
 }
 
 fn eval_scalar_column(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &ExecCtx<'_>,
     scalar: &Scalar,
     tables: &[&Table],
     sel: &[Vec<u32>],
@@ -679,7 +739,9 @@ fn eval_scalar_column(
             Profile::UltraPrecise if ctx.expr_tpi > 1 => {
                 eval_decimal_gpu_mt(ctx, expr, inputs, tables, sel, n)
             }
-            Profile::UltraPrecise => eval_decimal_gpu_jit(ctx, expr, inputs, tables, sel, n),
+            Profile::UltraPrecise => {
+                eval_decimal_gpu_jit(ctx, expr, inputs, tables, sel, n, None)
+            }
             Profile::RateupLike | Profile::HeavyAiLike | Profile::MonetLike => {
                 eval_decimal_limited(ctx, expr, inputs, tables, sel, n)
             }
@@ -922,16 +984,175 @@ fn is_identity(sel: &[u32], table_rows: usize) -> bool {
     sel.len() == table_rows && sel.iter().enumerate().all(|(i, &r)| r as usize == i)
 }
 
+// ---------------------------------------------------------------------
+// Plan-level launch pipelining
+// ---------------------------------------------------------------------
+
+/// Collects every JIT-compilable decimal expression reachable from a
+/// scalar, in the exact order serial evaluation compiles them (CASE
+/// branches in order, then ELSE; CAST descends).
+fn collect_decimal_exprs<'a>(s: &'a Scalar, out: &mut Vec<&'a Expr>) {
+    match s {
+        Scalar::Decimal { expr, .. } => out.push(expr),
+        Scalar::Case { branches, else_, .. } => {
+            for (_, sc) in branches {
+                collect_decimal_exprs(sc, out);
+            }
+            if let Some(e) = else_ {
+                collect_decimal_exprs(e, out);
+            }
+        }
+        Scalar::Cast { inner, .. } => collect_decimal_exprs(inner, out),
+        Scalar::Cpu(_) => {}
+    }
+}
+
+/// One DAG node's evaluated output, with the modeled time split the way
+/// the serial merge needs it back.
+struct SlotNodeOut {
+    vals: Vec<Value>,
+    /// Evaluation time with `compile_s` already moved to `compile_part`.
+    m: ModeledTime,
+    /// This node's contribution to the query's single-TU compile fold.
+    compile_part: Option<f64>,
+    kernels: usize,
+    /// The aggregate reduction priced over the full selection (zero for
+    /// plain projections).
+    price: ModeledTime,
+}
+
+/// Evaluates a plan's scalar slots through the launch DAG: independent
+/// slots run concurrently under [`run_dag`], first-occurrence kernels
+/// JIT on host threads started up front ([`JitEngine::compile_async`]),
+/// and duplicate-signature slots depend on the first occurrence so their
+/// compiles are guaranteed cache hits — preserving the serial miss/hit
+/// pattern and therefore the exact modeled compile attribution.
+///
+/// Returns the per-slot outputs in plan order (the caller replays the
+/// serial merge over them) plus the modeled overlap timeline.
+fn eval_slots_pipelined(
+    ctx: &ExecCtx<'_>,
+    slots: &[crate::plan::EvalSlot<'_>],
+    tables: &[&Table],
+    sel: &[Vec<u32>],
+    n: usize,
+) -> Result<(Vec<SlotNodeOut>, PipelineReport), QueryError> {
+    let jit_route = ctx.profile == Profile::UltraPrecise && ctx.expr_tpi == 1;
+
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); slots.len()];
+    let mut first_by_sig: HashMap<String, usize> = HashMap::new();
+    let mut handles: Vec<std::sync::Mutex<Option<CompileHandle>>> = Vec::new();
+    for (i, slot) in slots.iter().enumerate() {
+        let mut exprs = Vec::new();
+        collect_decimal_exprs(slot.scalar, &mut exprs);
+        let mut handle = None;
+        for (k, expr) in exprs.iter().enumerate() {
+            let Some(sig) = ctx.jit.signature(expr) else { continue };
+            match first_by_sig.entry(sig) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let owner = *e.get();
+                    if owner != i && !deps[i].contains(&owner) {
+                        deps[i].push(owner);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                    // A first-occurrence top-level kernel starts
+                    // compiling on a host thread now, overlapping with
+                    // every other ready node; its node joins the thread
+                    // when it runs. Nested expressions (CASE branches)
+                    // compile synchronously inside their node instead.
+                    if jit_route && k == 0 && matches!(slot.scalar, Scalar::Decimal { .. }) {
+                        handle = Some(ctx.jit.compile_async(expr));
+                    }
+                }
+            }
+        }
+        handles.push(std::sync::Mutex::new(handle));
+    }
+
+    let job = |i: usize| -> Result<SlotNodeOut, QueryError> {
+        let slot = &slots[i];
+        let pre = handles[i].lock().expect("handle lock").take().map(|h| h.wait());
+        let (vals, mut m, kernels) = match (pre, slot.scalar) {
+            (Some(p), Scalar::Decimal { expr, inputs }) => {
+                eval_decimal_gpu_jit(ctx, expr, inputs, tables, sel, n, Some(p))?
+            }
+            _ => eval_scalar_column(ctx, slot.scalar, tables, sel, n)?,
+        };
+        let price = match slot.agg {
+            Some(f) => price_aggregation(ctx, f, slot.scalar, &vals, n),
+            None => ModeledTime::default(),
+        };
+        let compile_part = (m.compile_s > 0.0).then_some(m.compile_s);
+        m.compile_s = 0.0;
+        Ok(SlotNodeOut { vals, m, compile_part, kernels, price })
+    };
+
+    let results = run_dag(&deps, ctx.pipeline, job);
+    let mut outs = Vec::with_capacity(results.len());
+    for r in results {
+        // Index order = plan order, so the first error here is the same
+        // one serial evaluation would have surfaced.
+        outs.push(r?);
+    }
+
+    // Modeled overlap timeline: one node per slot (compile → H2D →
+    // kernel) plus a dependent reduction node per priced aggregate.
+    let mut tnodes: Vec<DagNodeCost> = Vec::new();
+    let mut eval_idx = vec![0usize; outs.len()];
+    for (i, out) in outs.iter().enumerate() {
+        eval_idx[i] = tnodes.len();
+        tnodes.push(DagNodeCost {
+            deps: deps[i].iter().map(|&d| eval_idx[d]).collect(),
+            compile_s: out.compile_part.unwrap_or(0.0),
+            h2d_s: out.m.pcie_s,
+            exec_s: out.m.kernel_s + out.m.cpu_s,
+        });
+        let red = out.price.kernel_s + out.price.cpu_s;
+        if red > 0.0 {
+            tnodes.push(DagNodeCost { deps: vec![eval_idx[i]], exec_s: red, ..Default::default() });
+        }
+    }
+    let lanes = ctx.pipeline.depth().min(4);
+    let report = plan_timeline(&tnodes, lanes, lanes);
+    Ok((outs, report))
+}
+
+/// Folds one pipelined slot's output back into the query accumulators in
+/// the exact serial order (compile part, evaluation, kernel count, then
+/// the reduction price), returning the evaluated column.
+fn merge_slot_out(
+    o: SlotNodeOut,
+    modeled: &mut ModeledTime,
+    kernels: &mut usize,
+    compile_parts: &mut Vec<f64>,
+) -> Vec<Value> {
+    if let Some(c) = o.compile_part {
+        compile_parts.push(c);
+    }
+    modeled.add(&o.m);
+    *kernels += o.kernels;
+    modeled.add(&o.price);
+    o.vals
+}
+
 fn eval_decimal_gpu_jit(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &ExecCtx<'_>,
     expr: &Expr,
     inputs: &[WideCol],
     tables: &[&Table],
     sel: &[Vec<u32>],
     n: usize,
+    pre: Option<(Compiled, CompileInfo)>,
 ) -> Result<ScalarOut, QueryError> {
     let mut modeled = ModeledTime::default();
-    let (compiled, info) = ctx.jit.compile(expr);
+    // `pre` carries the result of a pipelined `compile_async` started at
+    // DAG-build time; it is exactly what `compile` would return here.
+    let (compiled, info) = match pre {
+        Some(p) => p,
+        None => ctx.jit.compile(expr),
+    };
     modeled.compile_s += info.modeled_compile_s;
 
     match compiled {
@@ -970,7 +1191,10 @@ fn eval_decimal_gpu_jit(
             let out_buf = mem.alloc(n.max(1) * out_lb);
             pcie_bytes += (n * out_lb) as u64;
 
-            let cfg = LaunchConfig::for_tuples(n as u64, 256, ctx.device);
+            // Memoized next to the kernel: a cache hit reuses the
+            // geometry derived on the first launch (same inputs → same
+            // config by construction, asserted in up-jit's tests).
+            let cfg = k.launch_config(n as u64, 256, ctx.device);
             let stats =
                 up_gpusim::launch_with(&k.kernel, cfg, ctx.device, &mut mem, &[n as u32], ctx.sim_par)
                 .map_err(|e| match e {
@@ -1003,7 +1227,7 @@ fn eval_decimal_gpu_jit(
 /// routines. Functionally bit-exact with the single-thread kernels; the
 /// cost model reflects the group work partitioning.
 fn eval_decimal_gpu_mt(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &ExecCtx<'_>,
     expr: &Expr,
     inputs: &[WideCol],
     tables: &[&Table],
@@ -1107,7 +1331,7 @@ fn modeled_op_at_a_time(
 }
 
 fn eval_decimal_limited(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &ExecCtx<'_>,
     expr: &Expr,
     inputs: &[WideCol],
     tables: &[&Table],
@@ -1180,7 +1404,7 @@ fn eval_limited_expr(
 }
 
 fn eval_decimal_soft(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &ExecCtx<'_>,
     expr: &Expr,
     inputs: &[WideCol],
     tables: &[&Table],
@@ -1261,7 +1485,7 @@ fn trunc_soft(v: &SoftDecimal) -> SoftDecimal {
 }
 
 fn eval_decimal_as_double(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &ExecCtx<'_>,
     expr: &Expr,
     inputs: &[WideCol],
     tables: &[&Table],
@@ -1310,7 +1534,7 @@ fn eval_f64_expr(e: &Expr, row: &[f64]) -> f64 {
 // ---------------------------------------------------------------------
 
 fn aggregate_group(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &ExecCtx<'_>,
     f: AggFunc,
     vals: &[Value],
     members: &[usize],

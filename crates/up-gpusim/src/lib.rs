@@ -7,8 +7,9 @@
 //! cost model turning those statistics into kernel times ([`cost`]),
 //! CGBN-style thread-group big-number arithmetic ([`cgbn`], §III-E1),
 //! multi-pass aggregation (§III-E2, [`reduce`]), an Nsight-like profiler
-//! view ([`profiler`]) and a CUDA-stream scheduler with queueing-delay
-//! accounting for concurrent services ([`stream`]).
+//! view ([`profiler`]), a CUDA-stream scheduler with queueing-delay
+//! accounting for concurrent services ([`stream`]), and a plan-level
+//! launch-DAG executor + modeled overlap timeline ([`pipeline`]).
 
 pub mod cgbn;
 pub mod disasm;
@@ -16,6 +17,7 @@ pub mod cost;
 pub mod device;
 pub mod exec;
 pub mod par;
+pub mod pipeline;
 pub mod profiler;
 pub mod ptx;
 pub mod reduce;
@@ -27,6 +29,7 @@ pub use exec::{
     SimError,
 };
 pub use par::SimParallelism;
+pub use pipeline::{plan_timeline, run_dag, DagNodeCost, PipelineMode, PipelineReport};
 pub use ptx::{CmpOp, Inst, Kernel, KernelBuilder, PReg, Reg, Special, Stmt};
 
 /// log₂(10) — bit-per-decimal-digit conversion used by cost formulas.

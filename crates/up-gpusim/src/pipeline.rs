@@ -1,0 +1,424 @@
+//! Plan-level launch pipelining: a dependency-ordered DAG executor plus a
+//! modeled overlap timeline.
+//!
+//! A query plan's independent kernel launches (one per expression slot,
+//! plus the multi-pass aggregate reductions behind them) form a DAG. The
+//! serial executor walks it one node at a time, so JIT compilation, PCIe
+//! transfer, and kernel execution never overlap — neither on the host
+//! (wall-clock) nor in the modeled timeline. This module supplies both
+//! halves of the pipelined alternative:
+//!
+//! * [`run_dag`] — executes DAG nodes on a small host worker pool, drawing
+//!   extra workers from the same process-wide token budget the parallel
+//!   block executor uses ([`crate::par`]), so a pipelined plan and a
+//!   parallel launch never multiply thread counts. Results are returned
+//!   per node index, which lets the caller merge them in the exact order
+//!   the serial executor would have produced — bit-exact outputs and
+//!   modeled times by construction.
+//! * [`plan_timeline`] — replays the DAG's node costs over three modeled
+//!   engines (NVCC compile lanes, one H2D copy engine, N compute streams,
+//!   all [`crate::stream::StreamScheduler`]s) in deterministic node-index
+//!   order, yielding the makespan, overlap, and stream utilization a
+//!   stream-pipelined deployment would see ([`PipelineReport`]).
+//!
+//! Pipelining never changes *what* is computed: every node runs the same
+//! journaled launch machinery, and the merge order is fixed. Only host
+//! wall-clock and the separately-reported pipeline timeline change.
+
+use crate::stream::StreamScheduler;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Whether (and how wide) plan-level pipelining runs.
+///
+/// Like [`crate::par::SimParallelism::Threads`], `On(depth)` is a
+/// *demand*: the DAG executor always runs `depth` host workers (it still
+/// draws tokens from the shared budget so concurrent `Auto` launches back
+/// off). `Off` is the serial reference mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Serial reference mode: nodes run one at a time in index order.
+    #[default]
+    Off,
+    /// Pipelined with this many host workers (clamped to ≥ 1).
+    On(u32),
+}
+
+/// Default worker depth for `UP_PIPELINE=on`.
+pub const DEFAULT_PIPELINE_DEPTH: u32 = 8;
+
+impl PipelineMode {
+    /// Whether the DAG path runs at all.
+    pub fn enabled(self) -> bool {
+        matches!(self, PipelineMode::On(_))
+    }
+
+    /// Host workers the DAG executor uses (≥ 1, including the caller).
+    pub fn depth(self) -> usize {
+        match self {
+            PipelineMode::Off => 1,
+            PipelineMode::On(d) => d.max(1) as usize,
+        }
+    }
+
+    /// Parses `off`, `on` (default depth), or a worker count.
+    pub fn parse(s: &str) -> Option<PipelineMode> {
+        match s {
+            "off" => Some(PipelineMode::Off),
+            "on" => Some(PipelineMode::On(DEFAULT_PIPELINE_DEPTH)),
+            n => n.parse::<u32>().ok().map(|d| {
+                if d == 0 {
+                    PipelineMode::Off
+                } else {
+                    PipelineMode::On(d)
+                }
+            }),
+        }
+    }
+
+    /// The `UP_PIPELINE` environment override, read once per process
+    /// (`off` | `on` | depth). `None` when unset or unparsable.
+    pub fn from_env() -> Option<PipelineMode> {
+        static CACHE: OnceLock<Option<PipelineMode>> = OnceLock::new();
+        *CACHE.get_or_init(|| {
+            std::env::var("UP_PIPELINE").ok().and_then(|v| PipelineMode::parse(&v))
+        })
+    }
+}
+
+impl std::fmt::Display for PipelineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineMode::Off => write!(f, "off"),
+            PipelineMode::On(d) => write!(f, "on({d})"),
+        }
+    }
+}
+
+/// Executes a DAG of jobs, returning each node's result by index.
+///
+/// `deps[i]` lists the nodes that must complete before node `i` starts;
+/// every dependency index must be smaller than its dependent's (node
+/// order is a topological order). Under [`PipelineMode::Off`] nodes run
+/// on the caller in index order; under `On(depth)` a pool of `depth`
+/// workers (caller included) drains the ready set. Every node runs even
+/// when another fails — the caller collects the `Vec` in index order, so
+/// the first error it observes is the same one serial execution would
+/// have returned.
+pub fn run_dag<T, E, F>(deps: &[Vec<usize>], mode: PipelineMode, job: F) -> Vec<Result<T, E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let n = deps.len();
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            assert!(d < i, "dag dependency {d} of node {i} is not earlier in node order");
+        }
+    }
+    let workers = mode.depth().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(&job).collect();
+    }
+
+    // Reverse adjacency + indegrees.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let indeg: Vec<AtomicUsize> = deps
+        .iter()
+        .enumerate()
+        .map(|(i, ds)| {
+            for &d in ds {
+                children[d].push(i);
+            }
+            AtomicUsize::new(ds.len())
+        })
+        .collect();
+
+    // Ready queue + completion count behind one lock; a condvar wakes
+    // idle workers when nodes become ready (or everything finished).
+    struct State {
+        queue: Mutex<(VecDeque<usize>, usize)>,
+        cv: Condvar,
+    }
+    let state = State { queue: Mutex::new((VecDeque::new(), 0)), cv: Condvar::new() };
+    {
+        let mut g = state.queue.lock().expect("dag queue poisoned");
+        for (i, d) in indeg.iter().enumerate() {
+            if d.load(Ordering::Relaxed) == 0 {
+                g.0.push_back(i);
+            }
+        }
+    }
+    let results: Vec<Mutex<Option<Result<T, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    // Demand semantics: always spawn `workers − 1` extras, holding
+    // whatever budget tokens are available so concurrent Auto launches
+    // back off (see crate::par).
+    let _tokens = crate::par::acquire_extra(workers - 1);
+    let worker = || loop {
+        let idx = {
+            let mut g = state.queue.lock().expect("dag queue poisoned");
+            loop {
+                if let Some(i) = g.0.pop_front() {
+                    break i;
+                }
+                if g.1 == n {
+                    return;
+                }
+                g = state.cv.wait(g).expect("dag queue poisoned");
+            }
+        };
+        let r = job(idx);
+        *results[idx].lock().expect("dag result poisoned") = Some(r);
+        let mut g = state.queue.lock().expect("dag queue poisoned");
+        g.1 += 1;
+        for &c in &children[idx] {
+            if indeg[c].fetch_sub(1, Ordering::AcqRel) == 1 {
+                g.0.push_back(c);
+            }
+        }
+        drop(g);
+        state.cv.notify_all();
+    };
+    std::thread::scope(|s| {
+        for _ in 0..workers - 1 {
+            s.spawn(worker);
+        }
+        worker();
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("dag result poisoned")
+                .expect("every dag node runs to completion")
+        })
+        .collect()
+}
+
+/// Modeled cost of one DAG node, fed to [`plan_timeline`].
+#[derive(Clone, Debug, Default)]
+pub struct DagNodeCost {
+    /// Earlier nodes whose completion gates this node's execution.
+    pub deps: Vec<usize>,
+    /// Modeled NVCC compile seconds (0 when cached / passthrough). The
+    /// compile can start as soon as the plan arrives — it has no data
+    /// dependencies — so it is placed at time 0 on a compile lane.
+    pub compile_s: f64,
+    /// Host→device transfer seconds, placed on the single copy engine
+    /// once the node's dependencies have finished.
+    pub h2d_s: f64,
+    /// Execution seconds (kernel time; CPU profiles report their
+    /// evaluator time here), placed on a compute stream after both the
+    /// compile and the transfer complete.
+    pub exec_s: f64,
+}
+
+/// The modeled pipeline timeline of one plan. Reported *alongside* the
+/// engine's modeled-time totals, never folded into them — the serial
+/// modeled breakdown stays bit-identical across pipeline modes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineReport {
+    /// DAG nodes placed on the timeline.
+    pub nodes: u64,
+    /// Compute streams of the modeled pool.
+    pub streams: usize,
+    /// Concurrent NVCC compile lanes of the modeled pool.
+    pub compile_lanes: usize,
+    /// Sum of all node costs — the no-overlap (serial) timeline length.
+    pub serial_s: f64,
+    /// Modeled completion time of the pipelined timeline.
+    pub makespan_s: f64,
+    /// `serial_s − makespan_s` (clamped at 0): seconds hidden by overlap.
+    pub overlap_s: f64,
+    /// Total compile seconds placed on the compile lanes.
+    pub compile_s: f64,
+    /// Total H2D seconds placed on the copy engine.
+    pub h2d_s: f64,
+    /// Total execution seconds placed on the compute streams.
+    pub exec_s: f64,
+    /// Total queueing delay across all three engines.
+    pub queue_s: f64,
+    /// Compute-stream utilization: `exec_s / (streams × makespan_s)`
+    /// (0 when nothing ran).
+    pub utilization: f64,
+}
+
+/// Replays a DAG's node costs over modeled compile lanes, one H2D copy
+/// engine, and `streams` compute streams, in node-index order (a
+/// topological order, so placement is deterministic). Returns the
+/// timeline summary.
+pub fn plan_timeline(nodes: &[DagNodeCost], streams: usize, compile_lanes: usize) -> PipelineReport {
+    let streams = streams.max(1);
+    let compile_lanes = compile_lanes.max(1);
+    let mut compile = StreamScheduler::new(compile_lanes);
+    let mut copy = StreamScheduler::new(1);
+    let mut compute = StreamScheduler::new(streams);
+    let mut finish = vec![0.0f64; nodes.len()];
+    let mut makespan = 0.0f64;
+    for (i, nd) in nodes.iter().enumerate() {
+        let ready = nd.deps.iter().map(|&d| finish[d]).fold(0.0, f64::max);
+        // Compilation has no data dependencies: it is issued at plan
+        // arrival (time 0) on the earliest-available compile lane.
+        let c_end = if nd.compile_s > 0.0 { compile.submit(0.0, nd.compile_s).end_s } else { 0.0 };
+        let h_end = if nd.h2d_s > 0.0 { copy.submit(ready, nd.h2d_s).end_s } else { ready };
+        let start = ready.max(c_end).max(h_end);
+        finish[i] = if nd.exec_s > 0.0 { compute.submit(start, nd.exec_s).end_s } else { start };
+        makespan = makespan.max(finish[i]);
+    }
+    let compile_total: f64 = nodes.iter().map(|n| n.compile_s).sum();
+    let h2d_total: f64 = nodes.iter().map(|n| n.h2d_s).sum();
+    let exec_total: f64 = nodes.iter().map(|n| n.exec_s).sum();
+    let serial_s = compile_total + h2d_total + exec_total;
+    let queue_s = compile.stats().queue_delay_total_s
+        + copy.stats().queue_delay_total_s
+        + compute.stats().queue_delay_total_s;
+    let cap = streams as f64 * makespan;
+    PipelineReport {
+        nodes: nodes.len() as u64,
+        streams,
+        compile_lanes,
+        serial_s,
+        makespan_s: makespan,
+        overlap_s: (serial_s - makespan).max(0.0),
+        compile_s: compile_total,
+        h2d_s: h2d_total,
+        exec_s: exec_total,
+        queue_s,
+        utilization: if cap > 0.0 { exec_total / cap } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_parses_and_displays() {
+        assert_eq!(PipelineMode::parse("off"), Some(PipelineMode::Off));
+        assert_eq!(PipelineMode::parse("on"), Some(PipelineMode::On(DEFAULT_PIPELINE_DEPTH)));
+        assert_eq!(PipelineMode::parse("3"), Some(PipelineMode::On(3)));
+        assert_eq!(PipelineMode::parse("0"), Some(PipelineMode::Off));
+        assert_eq!(PipelineMode::parse("bogus"), None);
+        assert_eq!(PipelineMode::On(4).to_string(), "on(4)");
+        assert_eq!(PipelineMode::Off.to_string(), "off");
+        assert!(!PipelineMode::Off.enabled());
+        assert_eq!(PipelineMode::Off.depth(), 1);
+        assert_eq!(PipelineMode::On(0).depth(), 1);
+        assert_eq!(PipelineMode::On(6).depth(), 6);
+    }
+
+    #[test]
+    fn dag_results_match_serial_in_every_mode() {
+        // A diamond plus a tail: 0 → {1, 2} → 3 → 4.
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2], vec![3]];
+        let job = |i: usize| -> Result<usize, ()> { Ok(i * i + 1) };
+        let serial: Vec<_> = run_dag(&deps, PipelineMode::Off, job);
+        for mode in [PipelineMode::On(1), PipelineMode::On(2), PipelineMode::On(8)] {
+            let got: Vec<_> = run_dag(&deps, mode, job);
+            assert_eq!(serial, got, "{mode}");
+        }
+    }
+
+    #[test]
+    fn dag_dependencies_complete_before_dependents_start() {
+        use std::sync::atomic::AtomicU64;
+        // Chain with a fan-out: completion stamps must respect edges.
+        let deps = vec![vec![], vec![0], vec![0], vec![1], vec![2, 3]];
+        let clock = AtomicU64::new(0);
+        let stamps: Vec<AtomicU64> = (0..deps.len()).map(|_| AtomicU64::new(0)).collect();
+        let starts: Vec<AtomicU64> = (0..deps.len()).map(|_| AtomicU64::new(0)).collect();
+        let _: Vec<Result<(), ()>> = run_dag(&deps, PipelineMode::On(4), |i| {
+            starts[i].store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            stamps[i].store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            Ok(())
+        });
+        for (i, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                assert!(
+                    stamps[d].load(Ordering::SeqCst) < starts[i].load(Ordering::SeqCst),
+                    "node {i} started before dependency {d} finished"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_runs_every_node_even_after_an_error() {
+        let deps = vec![vec![], vec![], vec![0]];
+        let ran = AtomicUsize::new(0);
+        let out: Vec<Result<usize, String>> = run_dag(&deps, PipelineMode::On(2), |i| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            if i == 1 {
+                Err("boom".to_string())
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        assert!(out[1].is_err());
+        // Index-order collect surfaces the same error serial would.
+        let first_err = out.into_iter().collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert_eq!(first_err, "boom");
+    }
+
+    #[test]
+    fn empty_dag_is_fine() {
+        let out: Vec<Result<(), ()>> = run_dag(&[], PipelineMode::On(4), |_| Ok(()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn timeline_overlaps_independent_nodes() {
+        // Four independent nodes, each 0.3 s compile + 0.01 s copy +
+        // 0.1 s exec. Serial: 1.64 s. Pipelined over 4 streams/lanes:
+        // compiles run concurrently, copies serialize on the one engine.
+        let nodes: Vec<DagNodeCost> = (0..4)
+            .map(|_| DagNodeCost { deps: vec![], compile_s: 0.3, h2d_s: 0.01, exec_s: 0.1 })
+            .collect();
+        let r = plan_timeline(&nodes, 4, 4);
+        assert_eq!(r.nodes, 4);
+        assert!((r.serial_s - 1.64).abs() < 1e-12, "{r:?}");
+        // All compiles end at 0.3; copies end by 0.04 ≤ 0.3; execs run
+        // concurrently on 4 streams → makespan 0.4.
+        assert!((r.makespan_s - 0.4).abs() < 1e-12, "{r:?}");
+        assert!(r.overlap_s > 1.2, "{r:?}");
+        assert!(r.utilization > 0.2, "{r:?}");
+        // Serial placement (1 stream, 1 lane) cannot beat the sum of
+        // compute+compile on their single engines.
+        let s = plan_timeline(&nodes, 1, 1);
+        assert!(s.makespan_s >= 1.2, "{s:?}");
+        assert!(s.makespan_s <= s.serial_s + 1e-12, "{s:?}");
+    }
+
+    #[test]
+    fn timeline_respects_dependencies() {
+        let nodes = vec![
+            DagNodeCost { deps: vec![], compile_s: 0.0, h2d_s: 0.0, exec_s: 1.0 },
+            DagNodeCost { deps: vec![0], compile_s: 0.0, h2d_s: 0.0, exec_s: 1.0 },
+        ];
+        let r = plan_timeline(&nodes, 8, 8);
+        // The chain cannot overlap: makespan is the full 2 s.
+        assert!((r.makespan_s - 2.0).abs() < 1e-12, "{r:?}");
+        assert_eq!(r.overlap_s, 0.0);
+    }
+
+    #[test]
+    fn timeline_of_nothing_is_zero_not_nan() {
+        let r = plan_timeline(&[], 4, 2);
+        assert_eq!(r.makespan_s, 0.0);
+        assert_eq!(r.utilization, 0.0);
+        assert!(!r.utilization.is_nan());
+        let z = plan_timeline(
+            &[DagNodeCost { deps: vec![], compile_s: 0.0, h2d_s: 0.0, exec_s: 0.0 }],
+            4,
+            2,
+        );
+        assert_eq!(z.makespan_s, 0.0);
+        assert_eq!(z.utilization, 0.0);
+        assert!(!z.utilization.is_nan());
+    }
+}

@@ -81,8 +81,11 @@ impl StreamScheduler {
     /// Places a kernel of `duration_s` modeled seconds arriving at
     /// `arrival_s` on the earliest-available stream.
     pub fn submit(&mut self, arrival_s: f64, duration_s: f64) -> StreamSlot {
-        let arrival_s = arrival_s.max(0.0);
-        let duration_s = duration_s.max(0.0);
+        // Defensive clamps: a negative, NaN, or infinite input would
+        // poison every later placement (an ∞ makespan turns utilization
+        // into NaN), so both flatten to 0 here.
+        let arrival_s = if arrival_s.is_finite() { arrival_s.max(0.0) } else { 0.0 };
+        let duration_s = if duration_s.is_finite() { duration_s.max(0.0) } else { 0.0 };
         // Earliest-available stream; ties break toward the lowest index.
         let (stream, free_at) = self
             .busy_until
@@ -105,13 +108,18 @@ impl StreamScheduler {
 
     /// Current statistics.
     pub fn stats(&self) -> StreamStats {
+        // `cap` is 0 both before any submission and when every
+        // submission had zero duration (makespan never advanced) — the
+        // streams were never occupied, so utilization is 0, not NaN.
         let cap = self.busy_until.len() as f64 * self.makespan;
+        let utilization =
+            if cap > 0.0 { (self.busy_total / cap).clamp(0.0, 1.0) } else { 0.0 };
         StreamStats {
             streams: self.busy_until.len(),
             launches: self.launches,
             busy_s: self.busy_total,
             makespan_s: self.makespan,
-            utilization: if cap > 0.0 { self.busy_total / cap } else { 0.0 },
+            utilization,
             queue_delay_total_s: self.queue_delay_total,
             queue_delay_max_s: self.queue_delay_max,
         }
@@ -174,5 +182,46 @@ mod tests {
         let s = StreamScheduler::new(4);
         assert_eq!(s.stats().utilization, 0.0);
         assert_eq!(s.stats().launches, 0);
+    }
+
+    #[test]
+    fn zero_duration_submissions_report_zero_utilization_not_nan() {
+        // Launches happened but never occupied a stream: makespan stays
+        // 0, and busy/(streams × makespan) must come back 0.0, not NaN.
+        let mut s = StreamScheduler::new(3);
+        for _ in 0..5 {
+            s.submit(0.0, 0.0);
+        }
+        let st = s.stats();
+        assert_eq!(st.launches, 5);
+        assert_eq!(st.busy_s, 0.0);
+        assert_eq!(st.makespan_s, 0.0);
+        assert!(!st.utilization.is_nan(), "{st:?}");
+        assert_eq!(st.utilization, 0.0, "{st:?}");
+    }
+
+    #[test]
+    fn zero_duration_after_real_work_keeps_utilization_finite() {
+        let mut s = StreamScheduler::new(2);
+        s.submit(0.0, 2.0);
+        let z = s.submit(1.0, 0.0); // zero-width probe mid-timeline
+        assert_eq!(z.end_s, z.start_s);
+        let st = s.stats();
+        assert!((st.utilization - 2.0 / 4.0).abs() < 1e-12, "{st:?}");
+        assert!(!st.utilization.is_nan());
+    }
+
+    #[test]
+    fn non_finite_inputs_are_flattened_to_zero() {
+        let mut s = StreamScheduler::new(1);
+        let a = s.submit(f64::NAN, f64::INFINITY);
+        assert_eq!(a.start_s, 0.0);
+        assert_eq!(a.end_s, 0.0);
+        let b = s.submit(f64::NEG_INFINITY, 1.0);
+        assert_eq!(b.start_s, 0.0);
+        let st = s.stats();
+        assert!(st.makespan_s.is_finite(), "{st:?}");
+        assert!(!st.utilization.is_nan(), "{st:?}");
+        assert!((st.utilization - 1.0).abs() < 1e-12, "{st:?}");
     }
 }

@@ -220,13 +220,19 @@ impl SharedKernelCache {
 pub struct JitEngine {
     opts: JitOptions,
     cache: Arc<SharedKernelCache>,
+    /// When set, a cache-missing `compile` *sleeps* its modeled NVCC
+    /// latency so host wall-clock reflects the compile stalls a real RTC
+    /// deployment pays (functional results and modeled times are
+    /// unchanged). Off by default; the pipelining benchmark turns it on
+    /// to measure how much of that latency overlap can hide.
+    emulate_nvcc: bool,
 }
 
 impl JitEngine {
     /// New engine with the given optimization switches and a private,
     /// bounded kernel cache.
     pub fn new(opts: JitOptions) -> JitEngine {
-        JitEngine { opts, cache: Arc::new(SharedKernelCache::new(DEFAULT_CACHE_CAPACITY)) }
+        Self::with_cache(opts, Arc::new(SharedKernelCache::new(DEFAULT_CACHE_CAPACITY)))
     }
 
     /// New engine with all optimizations on.
@@ -236,7 +242,19 @@ impl JitEngine {
 
     /// New engine over an existing (shared) kernel cache.
     pub fn with_cache(opts: JitOptions, cache: Arc<SharedKernelCache>) -> JitEngine {
-        JitEngine { opts, cache }
+        JitEngine { opts, cache, emulate_nvcc: false }
+    }
+
+    /// Toggles NVCC-latency emulation: when on, every cache-missing
+    /// compile sleeps its modeled NVCC time (§IV-D1's 320–423 ms scale)
+    /// so benchmarks can measure compile/execute overlap in wall-clock.
+    pub fn set_nvcc_latency_emulation(&mut self, on: bool) {
+        self.emulate_nvcc = on;
+    }
+
+    /// Whether NVCC-latency emulation is on.
+    pub fn nvcc_latency_emulation(&self) -> bool {
+        self.emulate_nvcc
     }
 
     /// A handle to this engine's kernel cache (clone to share it with
@@ -265,6 +283,24 @@ impl JitEngine {
         n.to_expr()
     }
 
+    /// The cache key `compile` uses for an already-optimized expression.
+    fn sig_of(&self, optimized: &Expr) -> String {
+        format!("{}|rtc={}", optimized.signature(), !self.opts.fold_constants)
+    }
+
+    /// The cache signature [`JitEngine::compile`] would use for `expr`,
+    /// or `None` when the optimized expression is a passthrough (bare
+    /// column / constant — never compiled, never cached). The plan-level
+    /// pipeline uses this to detect duplicate kernels across DAG nodes
+    /// *before* execution, so compile attribution stays deterministic.
+    pub fn signature(&self, expr: &Expr) -> Option<String> {
+        let optimized = self.optimize(expr);
+        match optimized {
+            Expr::Col { .. } | Expr::Const(_) => None,
+            e => Some(self.sig_of(&e)),
+        }
+    }
+
     /// Optimizes and compiles an expression, consulting the cache.
     pub fn compile(&self, expr: &Expr) -> (Compiled, CompileInfo) {
         let t0 = Instant::now();
@@ -284,7 +320,7 @@ impl JitEngine {
                     // DECIMAL per tuple inside the kernel (§III-D2).
                     runtime_const_conversion: !self.opts.fold_constants,
                 };
-                let sig = format!("{}|rtc={}", e.signature(), copts.runtime_const_conversion);
+                let sig = self.sig_of(&e);
                 let (compiled, cached) = self.cache.get_or_compile(&sig, |id| {
                     let name = format!("calc_expr_{id}");
                     compile_expr_with(&e, &name, copts)
@@ -294,6 +330,13 @@ impl JitEngine {
                 } else {
                     modeled_compile_time_s(compiled.kernel.static_inst_count())
                 };
+                if !cached && self.emulate_nvcc && modeled > 0.0 {
+                    // Outside the shard lock: concurrent compiles of
+                    // *other* signatures proceed while this one "runs
+                    // NVCC". Wall-clock only — modeled time is already
+                    // accounted above.
+                    std::thread::sleep(std::time::Duration::from_secs_f64(modeled));
+                }
                 let info = CompileInfo {
                     cached,
                     build_s: t0.elapsed().as_secs_f64(),
@@ -304,9 +347,49 @@ impl JitEngine {
         }
     }
 
+    /// Starts compiling `expr` on a helper thread and returns a handle to
+    /// collect the result. The helper draws one token from the shared
+    /// worker budget (`up_gpusim::par`) so concurrent `Auto` launches
+    /// back off while it runs; like an explicit `Threads(n)` demand it
+    /// spawns even when the budget is empty — a compile thread mostly
+    /// waits on the (emulated) NVCC latency, not the CPU. Cache lookups,
+    /// insertion, and counters behave exactly as a synchronous
+    /// [`JitEngine::compile`] on this engine.
+    pub fn compile_async(&self, expr: &Expr) -> CompileHandle {
+        let token = up_gpusim::par::acquire_extra(1);
+        let mut engine = JitEngine::with_cache(self.opts, Arc::clone(&self.cache));
+        engine.emulate_nvcc = self.emulate_nvcc;
+        let expr = expr.clone();
+        let join = std::thread::spawn(move || engine.compile(&expr));
+        CompileHandle { join, _token: token }
+    }
+
     /// Cache counters (hits, misses, evictions, occupancy).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+}
+
+/// An in-flight [`JitEngine::compile_async`] compilation.
+///
+/// Dropping the handle without calling [`CompileHandle::wait`] detaches
+/// the helper thread; the compiled kernel still lands in the shared
+/// cache.
+pub struct CompileHandle {
+    join: std::thread::JoinHandle<(Compiled, CompileInfo)>,
+    _token: up_gpusim::par::WorkerTokens,
+}
+
+impl CompileHandle {
+    /// Blocks until compilation finishes and returns exactly what the
+    /// synchronous [`JitEngine::compile`] would have.
+    pub fn wait(self) -> (Compiled, CompileInfo) {
+        self.join.join().expect("compile thread panicked")
+    }
+
+    /// Whether the compilation has already finished (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.join.is_finished()
     }
 }
 
@@ -435,5 +518,63 @@ mod tests {
         assert_eq!(s.misses, 1, "{s:?}"); // compiled exactly once
         assert_eq!(s.hits, 7, "{s:?}");
         assert!((s.hit_rate() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_matches_compile_routing() {
+        let jit = JitEngine::with_defaults();
+        // A real kernel has a signature; compiling it afterwards misses
+        // once and a re-derived signature still matches the cached entry.
+        let e = Expr::col(0, ty(6, 2), "a").mul(Expr::col(1, ty(6, 2), "b"));
+        let sig = jit.signature(&e).expect("kernel expression has a signature");
+        let (c, i) = jit.compile(&e);
+        assert!(matches!(c, Compiled::Kernel(_)));
+        assert!(!i.cached);
+        assert_eq!(jit.signature(&e).as_deref(), Some(sig.as_str()));
+        // A passthrough (1 + a + 2 − 3 → a) never compiles → no signature.
+        let p = Expr::lit("1")
+            .unwrap()
+            .add(Expr::col(0, ty(12, 10), "a"))
+            .add(Expr::lit("2").unwrap())
+            .sub(Expr::lit("3").unwrap());
+        assert_eq!(jit.signature(&p), None);
+    }
+
+    #[test]
+    fn async_compile_matches_synchronous_semantics() {
+        let jit = JitEngine::with_defaults();
+        let e = Expr::col(0, ty(9, 3), "a").add(Expr::col(1, ty(9, 3), "b"));
+        let (c_async, i_async) = jit.compile_async(&e).wait();
+        assert!(!i_async.cached);
+        assert!(i_async.modeled_compile_s > 0.25);
+        // The synchronous path now hits the same cached kernel.
+        let (c_sync, i_sync) = jit.compile(&e);
+        assert!(i_sync.cached);
+        assert_eq!(i_sync.modeled_compile_s, 0.0);
+        match (c_async, c_sync) {
+            (Compiled::Kernel(a), Compiled::Kernel(b)) => assert!(Arc::ptr_eq(&a, &b)),
+            _ => panic!("expected kernels"),
+        }
+        let s = jit.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "{s:?}");
+    }
+
+    #[test]
+    fn nvcc_latency_emulation_sleeps_misses_only() {
+        let mut jit = JitEngine::with_defaults();
+        jit.set_nvcc_latency_emulation(true);
+        assert!(jit.nvcc_latency_emulation());
+        let e = Expr::col(0, ty(5, 1), "a").add(Expr::col(1, ty(5, 1), "b"));
+        let t0 = Instant::now();
+        let (_, i1) = jit.compile(&e);
+        let miss_wall = t0.elapsed().as_secs_f64();
+        assert!(!i1.cached);
+        // The miss slept ≈ its modeled NVCC time (300 ms front-end floor).
+        assert!(miss_wall >= i1.modeled_compile_s * 0.9, "{miss_wall} vs {i1:?}");
+        // Hits pay nothing.
+        let t1 = Instant::now();
+        let (_, i2) = jit.compile(&e);
+        assert!(i2.cached);
+        assert!(t1.elapsed().as_secs_f64() < 0.1);
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::expr::Expr;
 use up_gpusim::ptx::{CmpOp, Inst as I, Kernel, KernelBuilder, Reg, Special, Stmt};
+use up_gpusim::{DeviceConfig, LaunchConfig};
 use up_num::dtype::DecimalType;
 use up_num::pow10;
 use up_num::DIV_EXTRA_SCALE;
@@ -40,6 +41,66 @@ pub struct CompiledExpr {
     pub out_ty: DecimalType,
     /// Number of input column buffers the kernel expects.
     pub n_inputs: usize,
+    /// Memoized launch geometry (see [`CompiledExpr::launch_config`]).
+    pub launch: LaunchMemo,
+}
+
+/// One-slot memo of the derived [`LaunchConfig`], stored next to the
+/// compiled kernel so cache hits skip re-deriving the launch geometry.
+/// Repeated queries hit the kernel cache with the same tuple count, so a
+/// single slot keyed on the launch inputs covers the steady state.
+#[derive(Debug, Default)]
+pub struct LaunchMemo {
+    slot: std::sync::Mutex<Option<MemoKey>>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct MemoKey {
+    tuples: u64,
+    block_threads: u32,
+    sm_count: u32,
+    max_threads_per_block: u32,
+    cfg: LaunchConfig,
+}
+
+impl Clone for LaunchMemo {
+    fn clone(&self) -> LaunchMemo {
+        LaunchMemo { slot: std::sync::Mutex::new(*self.slot.lock().expect("launch memo poisoned")) }
+    }
+}
+
+impl CompiledExpr {
+    /// The launch geometry for `tuples` tuples at `block_threads` threads
+    /// per block, memoized per kernel. Keyed on every input
+    /// [`LaunchConfig::for_tuples`] reads (tuple count, requested block
+    /// size, and the device's SM count / block-size cap), so a hit is
+    /// exactly the config a fresh derivation would produce.
+    pub fn launch_config(
+        &self,
+        tuples: u64,
+        block_threads: u32,
+        device: &DeviceConfig,
+    ) -> LaunchConfig {
+        let mut slot = self.launch.slot.lock().expect("launch memo poisoned");
+        if let Some(k) = *slot {
+            if k.tuples == tuples
+                && k.block_threads == block_threads
+                && k.sm_count == device.sm_count
+                && k.max_threads_per_block == device.max_threads_per_block
+            {
+                return k.cfg;
+            }
+        }
+        let cfg = LaunchConfig::for_tuples(tuples, block_threads, device);
+        *slot = Some(MemoKey {
+            tuples,
+            block_threads,
+            sm_count: device.sm_count,
+            max_threads_per_block: device.max_threads_per_block,
+            cfg,
+        });
+        cfg
+    }
 }
 
 /// Estimated post-allocation hardware registers per thread. Calibrated to
@@ -131,7 +192,7 @@ pub fn compile_expr_with(expr: &Expr, name: &str, copts: CodegenOptions) -> Comp
     let (has_mul, has_div) = op_classes(expr);
     let hw_regs = estimate_hw_regs(out_ty.lw(), has_mul, has_div);
     let kernel = g.kb.finish(name, hw_regs);
-    CompiledExpr { kernel, out_ty, n_inputs }
+    CompiledExpr { kernel, out_ty, n_inputs, launch: LaunchMemo::default() }
 }
 
 fn op_classes(e: &Expr) -> (bool, bool) {
@@ -782,5 +843,28 @@ mod tests {
         // LEN 8 stays at full occupancy.
         assert!(d.occupancy(estimate_hw_regs(8, false, false)) > 0.95);
         assert!(d.occupancy(estimate_hw_regs(8, true, false)) > 0.95);
+    }
+
+    #[test]
+    fn launch_config_memo_hit_equals_fresh_derivation() {
+        let d = DeviceConfig::a6000();
+        let t = ty(8, 2);
+        let e = Expr::col(0, t, "a").add(Expr::col(1, t, "b"));
+        let k = compile_expr(&e, "memo_test");
+        // Miss populates, hit returns the identical config.
+        let first = k.launch_config(100_000, 256, &d);
+        let hit = k.launch_config(100_000, 256, &d);
+        assert_eq!(first, hit);
+        assert_eq!(hit, LaunchConfig::for_tuples(100_000, 256, &d));
+        // A different tuple count re-derives rather than serving stale
+        // geometry.
+        let other = k.launch_config(7, 256, &d);
+        assert_eq!(other, LaunchConfig::for_tuples(7, 256, &d));
+        assert_ne!(other, first);
+        // A different device geometry invalidates too.
+        let mut small = DeviceConfig::a6000();
+        small.sm_count = 2;
+        let scaled = k.launch_config(7, 256, &small);
+        assert_eq!(scaled, LaunchConfig::for_tuples(7, 256, &small));
     }
 }

@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use up_gpusim::stream::StreamStats;
+use up_gpusim::PipelineReport;
 use up_jit::cache::CacheStats;
 
 /// Power-of-two microsecond buckets: bucket `i` holds latencies in
@@ -159,6 +160,16 @@ pub struct MetricsRegistry {
     gpu_kernel_s: AtomicF64,
     /// Modeled stream queueing delay accumulated.
     gpu_queue_s: AtomicF64,
+    /// Queries that ran through the intra-query launch DAG.
+    pipelined_queries: AtomicU64,
+    /// DAG nodes scheduled across all pipelined queries.
+    pipeline_nodes: AtomicU64,
+    /// Modeled seconds saved by overlap (serial − makespan), summed.
+    pipeline_overlap_s: AtomicF64,
+    /// Modeled stream-busy seconds inside pipelined plans.
+    pipeline_busy_s: AtomicF64,
+    /// Modeled stream capacity (streams × makespan) of pipelined plans.
+    pipeline_cap_s: AtomicF64,
 }
 
 impl MetricsRegistry {
@@ -209,6 +220,16 @@ impl MetricsRegistry {
         self.gpu_queue_s.add(queue_s);
     }
 
+    /// Folds one query's pipeline timeline into the service-wide
+    /// counters (called only for queries that actually pipelined).
+    pub fn on_pipeline(&self, p: &PipelineReport) {
+        self.pipelined_queries.fetch_add(1, Ordering::Relaxed);
+        self.pipeline_nodes.fetch_add(p.nodes, Ordering::Relaxed);
+        self.pipeline_overlap_s.add(p.overlap_s);
+        self.pipeline_busy_s.add(p.exec_s);
+        self.pipeline_cap_s.add(p.streams as f64 * p.makespan_s);
+    }
+
     /// Mean end-to-end latency so far (0 before any completion) — the
     /// server's retry-after estimate is derived from this.
     pub fn mean_latency_s(&self) -> f64 {
@@ -228,6 +249,12 @@ impl MetricsRegistry {
         snap.latency = self.latency.summary();
         snap.gpu_kernel_s = self.gpu_kernel_s.get();
         snap.gpu_queue_s = self.gpu_queue_s.get();
+        snap.pipelined_queries = self.pipelined_queries.load(Ordering::Relaxed);
+        snap.pipeline_nodes = self.pipeline_nodes.load(Ordering::Relaxed);
+        snap.pipeline_overlap_s = self.pipeline_overlap_s.get();
+        let cap = self.pipeline_cap_s.get();
+        snap.pipeline_utilization =
+            if cap > 0.0 { (self.pipeline_busy_s.get() / cap).clamp(0.0, 1.0) } else { 0.0 };
     }
 }
 
@@ -266,6 +293,15 @@ pub struct MetricsSnapshot {
     pub gpu_kernel_s: f64,
     /// Modeled stream queueing delay accumulated.
     pub gpu_queue_s: f64,
+    /// Queries executed through the intra-query launch DAG.
+    pub pipelined_queries: u64,
+    /// DAG nodes scheduled across pipelined queries.
+    pub pipeline_nodes: u64,
+    /// Modeled seconds of compile/transfer/exec overlap won, summed.
+    pub pipeline_overlap_s: f64,
+    /// Aggregate modeled stream utilization of pipelined plans
+    /// (busy / capacity over their makespans, in `[0, 1]`).
+    pub pipeline_utilization: f64,
 }
 
 fn fmt_s(s: f64) -> String {
@@ -333,6 +369,14 @@ impl MetricsSnapshot {
             fmt_s(self.gpu_kernel_s),
             fmt_s(self.gpu_queue_s)
         );
+        let _ = writeln!(
+            o,
+            "pipelining:  {} queries, {} DAG nodes, overlap won {}, stream utilization {:.1}%",
+            self.pipelined_queries,
+            self.pipeline_nodes,
+            fmt_s(self.pipeline_overlap_s),
+            self.pipeline_utilization * 100.0
+        );
         o
     }
 }
@@ -388,6 +432,40 @@ mod tests {
         m.fill(&mut snap);
         assert!((snap.gpu_kernel_s - 8.0).abs() < 1e-9, "{}", snap.gpu_kernel_s);
         assert!((snap.gpu_queue_s - 4.0).abs() < 1e-9, "{}", snap.gpu_queue_s);
+    }
+
+    #[test]
+    fn pipeline_counters_feed_snapshot_and_report() {
+        let m = MetricsRegistry::new();
+        // Two pipelined queries: 3 + 2 nodes, each with known busy and
+        // makespan so the aggregate utilization is checkable by hand.
+        m.on_pipeline(&PipelineReport {
+            nodes: 3,
+            streams: 2,
+            serial_s: 1.0,
+            makespan_s: 0.6,
+            overlap_s: 0.4,
+            exec_s: 0.6,
+            ..Default::default()
+        });
+        m.on_pipeline(&PipelineReport {
+            nodes: 2,
+            streams: 2,
+            serial_s: 0.5,
+            makespan_s: 0.4,
+            overlap_s: 0.1,
+            exec_s: 0.4,
+            ..Default::default()
+        });
+        let mut snap = MetricsSnapshot::default();
+        m.fill(&mut snap);
+        assert_eq!(snap.pipelined_queries, 2);
+        assert_eq!(snap.pipeline_nodes, 5);
+        assert!((snap.pipeline_overlap_s - 0.5).abs() < 1e-12);
+        // busy 1.0 over capacity 2·0.6 + 2·0.4 = 2.0 → 50%.
+        assert!((snap.pipeline_utilization - 0.5).abs() < 1e-12, "{}", snap.pipeline_utilization);
+        let text = snap.report();
+        assert!(text.contains("pipelining:  2 queries, 5 DAG nodes"), "{text}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use up_engine::{Database, Profile, QueryError, QueryResult, Schema, Value};
 use up_gpusim::stream::StreamScheduler;
-use up_gpusim::{DeviceConfig, SimParallelism};
+use up_gpusim::{DeviceConfig, PipelineMode, SimParallelism};
 use up_jit::cache::{JitEngine, JitOptions, SharedKernelCache, DEFAULT_CACHE_CAPACITY};
 use up_num::NumError;
 
@@ -59,6 +59,10 @@ pub struct ServerConfig {
     /// other launch, so query workers and simulator threads compose
     /// without oversubscribing the host.
     pub sim_par: SimParallelism,
+    /// Intra-query launch pipelining for the plans workers execute
+    /// (results and modeled times are bit-identical across modes).
+    /// Defaults from `UP_PIPELINE`, otherwise off.
+    pub pipeline: PipelineMode,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +74,7 @@ impl Default for ServerConfig {
             jit_cache_capacity: DEFAULT_CACHE_CAPACITY,
             default_timeout: Duration::from_secs(30),
             sim_par: SimParallelism::Auto,
+            pipeline: PipelineMode::from_env().unwrap_or_default(),
         }
     }
 }
@@ -215,6 +220,7 @@ impl UpServer {
 
     fn start(config: ServerConfig, mut db: Database, cache: Arc<SharedKernelCache>) -> UpServer {
         db.sim_par = config.sim_par;
+        db.pipeline = config.pipeline;
         let inner = Arc::new(ServerInner {
             db: RwLock::new(db),
             jit_cache: cache,
@@ -382,6 +388,9 @@ fn worker_loop(inner: Arc<ServerInner>) {
                 r.modeled.queue_s += slot.queue_delay_s;
             }
             inner.metrics.on_gpu_time(r.modeled.kernel_s, r.modeled.queue_s);
+            if let Some(p) = &r.pipeline {
+                inner.metrics.on_pipeline(p);
+            }
             r
         });
         let ok = result.is_ok();
@@ -581,6 +590,31 @@ mod tests {
         server.insert_many("t", [vec![dec("7.77", ty(6, 2))]]).unwrap();
         let after = server.query(s, "SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(after.rows[0][0].render(), "5");
+    }
+
+    #[test]
+    fn pipelined_queries_feed_the_snapshot() {
+        let server = seeded_server(ServerConfig {
+            workers: 2,
+            pipeline: PipelineMode::On(4),
+            ..ServerConfig::default()
+        });
+        let s = server.connect(Profile::UltraPrecise);
+        // Two independent expression slots → the worker runs the launch
+        // DAG and its report lands in the service counters.
+        let r = server
+            .query(s, "SELECT SUM(x * x), SUM(x + x) FROM t")
+            .unwrap();
+        assert!(r.pipeline.is_some(), "multi-slot plan should pipeline");
+        // A single-slot plan stays serial and records nothing.
+        let r2 = server.query(s, "SELECT SUM(x) FROM t").unwrap();
+        assert!(r2.pipeline.is_none());
+        let m = server.metrics();
+        assert_eq!(m.pipelined_queries, 1);
+        assert!(m.pipeline_nodes >= 2, "{}", m.pipeline_nodes);
+        assert!(m.pipeline_utilization > 0.0 && m.pipeline_utilization <= 1.0);
+        let text = m.report();
+        assert!(text.contains("pipelining:  1 queries"), "{text}");
     }
 
     #[test]
