@@ -136,6 +136,30 @@ impl Database {
     /// Executes one `SELECT` under an explicit profile (per-session
     /// profiles in the concurrent service override the default this way).
     pub fn query_as(&self, profile: Profile, sql: &str) -> Result<QueryResult, QueryError> {
+        self.run(profile, sql, None)
+    }
+
+    /// Executes one `SELECT` bound to the server-wide pipeline arena:
+    /// JIT compiles rendezvous with the admission-time prefetch and the
+    /// side-band timeline uses the shared engine pools. `up-server`'s
+    /// workers route queries here when `ServerConfig::arena` is on.
+    /// Results, `ModeledTime`, and cache stats are bit-identical to
+    /// [`Database::query_as`].
+    pub fn query_with_arena(
+        &self,
+        profile: Profile,
+        sql: &str,
+        arena: crate::exec::ArenaCtx<'_>,
+    ) -> Result<QueryResult, QueryError> {
+        self.run(profile, sql, Some(arena))
+    }
+
+    fn run(
+        &self,
+        profile: Profile,
+        sql: &str,
+        arena: Option<crate::exec::ArenaCtx<'_>>,
+    ) -> Result<QueryResult, QueryError> {
         let select = parse_select(sql).map_err(QueryError::Parse)?;
         let plan = plan(&select, &self.catalog).map_err(QueryError::Plan)?;
         let ctx = ExecCtx {
@@ -147,8 +171,30 @@ impl Database {
             expr_tpi: self.expr_tpi,
             sim_par: self.sim_par,
             pipeline: self.pipeline,
+            arena,
         };
         execute(&plan, &ctx)
+    }
+
+    /// The JIT kernel references `sql` would compile under `profile`, in
+    /// the exact order serial evaluation reaches them (`(signature,
+    /// expression)` pairs, duplicates included). Empty when the profile
+    /// doesn't route through single-thread JIT kernels. The server calls
+    /// this at admission to prefetch compiles into the arena.
+    pub fn plan_kernels(
+        &self,
+        profile: Profile,
+        sql: &str,
+    ) -> Result<Vec<(String, up_jit::Expr)>, QueryError> {
+        let select = parse_select(sql).map_err(QueryError::Parse)?;
+        let plan = plan(&select, &self.catalog).map_err(QueryError::Plan)?;
+        Ok(crate::exec::plan_kernel_refs(&plan, &self.jit, profile, self.expr_tpi))
+    }
+
+    /// The database's JIT engine (shared cache, NVCC-emulation flag).
+    /// The server forks this to build the arena's compile lanes.
+    pub fn jit(&self) -> &JitEngine {
+        &self.jit
     }
 
     /// JIT kernel-cache statistics (hits, misses, evictions, occupancy).

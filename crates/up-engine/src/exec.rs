@@ -207,6 +207,30 @@ pub struct ExecCtx<'a> {
     /// Bit-identical results and modeled times regardless of setting;
     /// only host wall-clock and the side-band [`PipelineReport`] change.
     pub pipeline: PipelineMode,
+    /// Server-wide pipeline-arena binding, when this query runs under
+    /// `up-server` with the arena on: compiles rendezvous with the
+    /// admission-time prefetch instead of compiling inline, and the
+    /// side-band timeline places nodes on the *shared* engine pools.
+    /// `None` for standalone queries. Results, `ModeledTime`, and cache
+    /// stats are bit-identical either way.
+    pub arena: Option<ArenaCtx<'a>>,
+}
+
+/// One query's binding to the server-wide pipeline arena (see
+/// [`up_jit::arena::CompileArena`] and
+/// [`up_gpusim::pipeline::SharedTimeline`]).
+#[derive(Clone, Copy)]
+pub struct ArenaCtx<'a> {
+    /// The shared compile arena: admission-time prefetched compiles the
+    /// executor rendezvouses with at eval time.
+    pub compile: &'a up_jit::arena::CompileArena,
+    /// The shared modeled timeline this query's DAG nodes are placed on.
+    pub timeline: &'a up_gpusim::pipeline::SharedTimeline,
+    /// Arena-assigned query sequence number (admission order — the
+    /// serial replay order the bit-exactness argument relies on).
+    pub seq: u64,
+    /// Modeled arrival second of this query on the server timeline.
+    pub arrival_s: f64,
 }
 
 /// Runs a plan.
@@ -1062,7 +1086,14 @@ fn eval_slots_pipelined(
                     // every other ready node; its node joins the thread
                     // when it runs. Nested expressions (CASE branches)
                     // compile synchronously inside their node instead.
-                    if jit_route && k == 0 && matches!(slot.scalar, Scalar::Decimal { .. }) {
+                    // Under the server arena the compile was already
+                    // prefetched at admission — the node's rendezvous
+                    // collects it, so no per-query thread is spawned.
+                    if jit_route
+                        && ctx.arena.is_none()
+                        && k == 0
+                        && matches!(slot.scalar, Scalar::Decimal { .. })
+                    {
                         handle = Some(ctx.jit.compile_async(expr));
                     }
                 }
@@ -1114,9 +1145,45 @@ fn eval_slots_pipelined(
             tnodes.push(DagNodeCost { deps: vec![eval_idx[i]], exec_s: red, ..Default::default() });
         }
     }
-    let lanes = ctx.pipeline.depth().min(4);
-    let report = plan_timeline(&tnodes, lanes, lanes);
+    let report = match &ctx.arena {
+        // Arena: nodes land on the *server-wide* engine pools at this
+        // query's modeled arrival, so the report includes cross-query
+        // contention as queue delay.
+        Some(a) => a.timeline.place(a.arrival_s, &tnodes),
+        None => {
+            let lanes = ctx.pipeline.depth().min(4);
+            plan_timeline(&tnodes, lanes, lanes)
+        }
+    };
     Ok((outs, report))
+}
+
+/// The JIT kernel references a plan will compile, in the exact order
+/// serial evaluation reaches them: `(signature, expression)` per
+/// reachable decimal expression, duplicates included, passthroughs
+/// skipped. Empty when the profile doesn't JIT or multi-threaded
+/// expression kernels are in use. This is what the server registers
+/// with the compile arena at admission time.
+pub(crate) fn plan_kernel_refs(
+    plan: &QueryPlan,
+    jit: &JitEngine,
+    profile: Profile,
+    expr_tpi: u32,
+) -> Vec<(String, Expr)> {
+    if profile != Profile::UltraPrecise || expr_tpi != 1 {
+        return Vec::new();
+    }
+    let mut refs = Vec::new();
+    for slot in plan.eval_slots() {
+        let mut exprs = Vec::new();
+        collect_decimal_exprs(slot.scalar, &mut exprs);
+        for expr in exprs {
+            if let Some(sig) = jit.signature(expr) {
+                refs.push((sig, expr.clone()));
+            }
+        }
+    }
+    refs
 }
 
 /// Folds one pipelined slot's output back into the query accumulators in
@@ -1149,9 +1216,20 @@ fn eval_decimal_gpu_jit(
     let mut modeled = ModeledTime::default();
     // `pre` carries the result of a pipelined `compile_async` started at
     // DAG-build time; it is exactly what `compile` would return here.
+    // Under the server arena, admission already prefetched every
+    // first-occurrence compile: rendezvous returns either the owned
+    // result (the miss, with its modeled NVCC seconds) or falls through
+    // to a plain compile that is a guaranteed cache hit — the same
+    // miss/hit pattern serial execution produces.
     let (compiled, info) = match pre {
         Some(p) => p,
-        None => ctx.jit.compile(expr),
+        None => match &ctx.arena {
+            Some(a) => a
+                .compile
+                .rendezvous(a.seq, expr)
+                .unwrap_or_else(|| ctx.jit.compile(expr)),
+            None => ctx.jit.compile(expr),
+        },
     };
     modeled.compile_s += info.modeled_compile_s;
 

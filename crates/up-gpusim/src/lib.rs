@@ -29,7 +29,10 @@ pub use exec::{
     SimError,
 };
 pub use par::SimParallelism;
-pub use pipeline::{plan_timeline, run_dag, DagNodeCost, PipelineMode, PipelineReport};
+pub use pipeline::{
+    plan_timeline, run_dag, DagNodeCost, DeficitRoundRobin, PipelineMode, PipelineReport,
+    SharedTimeline, SharedTimelineStats,
+};
 pub use ptx::{CmpOp, Inst, Kernel, KernelBuilder, PReg, Reg, Special, Stmt};
 
 /// log₂(10) — bit-per-decimal-digit conversion used by cost formulas.

@@ -78,11 +78,12 @@ impl PipelineMode {
     }
 
     /// The `UP_PIPELINE` environment override, read once per process
-    /// (`off` | `on` | depth). `None` when unset or unparsable.
+    /// (`off` | `on` | depth). `None` when unset; an unparsable value
+    /// warns once on stderr and behaves like unset.
     pub fn from_env() -> Option<PipelineMode> {
         static CACHE: OnceLock<Option<PipelineMode>> = OnceLock::new();
         *CACHE.get_or_init(|| {
-            std::env::var("UP_PIPELINE").ok().and_then(|v| PipelineMode::parse(&v))
+            crate::par::env_parse("UP_PIPELINE", "off | on | <depth>", PipelineMode::parse)
         })
     }
 }
@@ -292,6 +293,275 @@ pub fn plan_timeline(nodes: &[DagNodeCost], streams: usize, compile_lanes: usize
     }
 }
 
+/// Weighted deficit round-robin over session ids.
+///
+/// Each registered session accrues `weight` units of deficit per
+/// scheduling round and pays one unit per grant, so over time session
+/// *i* receives `wᵢ / Σw` of the grants — a wide analytic session
+/// cannot starve short interactive ones. A session with no queued work
+/// forfeits its accumulated deficit (classic DRR), which keeps the
+/// scheduler work-conserving: grants never idle waiting for an empty
+/// queue to "catch up".
+#[derive(Debug)]
+pub struct DeficitRoundRobin {
+    sessions: Vec<DrrSession>,
+    cursor: usize,
+    /// Whether the session at `cursor` still needs its per-round
+    /// deficit replenishment (set when the cursor arrives there).
+    fresh: bool,
+}
+
+impl Default for DeficitRoundRobin {
+    fn default() -> DeficitRoundRobin {
+        DeficitRoundRobin { sessions: Vec::new(), cursor: 0, fresh: true }
+    }
+}
+
+#[derive(Debug)]
+struct DrrSession {
+    id: u64,
+    weight: f64,
+    deficit: f64,
+}
+
+impl DeficitRoundRobin {
+    /// An empty scheduler.
+    pub fn new() -> DeficitRoundRobin {
+        DeficitRoundRobin::default()
+    }
+
+    /// Registers `id` (or updates its weight). Weights are clamped to
+    /// `[0.01, 100]`; non-finite weights fall back to 1.
+    pub fn set_weight(&mut self, id: u64, weight: f64) {
+        let weight = if weight.is_finite() { weight.clamp(0.01, 100.0) } else { 1.0 };
+        match self.sessions.iter_mut().find(|s| s.id == id) {
+            Some(s) => s.weight = weight,
+            None => self.sessions.push(DrrSession { id, weight, deficit: 0.0 }),
+        }
+    }
+
+    /// Registers `id` with the default weight (1) if unknown.
+    pub fn ensure(&mut self, id: u64) {
+        if !self.sessions.iter().any(|s| s.id == id) {
+            self.sessions.push(DrrSession { id, weight: 1.0, deficit: 0.0 });
+        }
+    }
+
+    /// Forgets `id` entirely.
+    pub fn remove(&mut self, id: u64) {
+        if let Some(pos) = self.sessions.iter().position(|s| s.id == id) {
+            self.sessions.remove(pos);
+            if self.cursor > pos {
+                self.cursor -= 1;
+            } else if self.cursor == pos {
+                self.fresh = true;
+            }
+        }
+    }
+
+    /// Picks the next session to serve among those for which `eligible`
+    /// returns true (i.e. sessions with queued work). The cursor visits
+    /// sessions round-robin; on arrival a session's deficit is topped up
+    /// by its weight, each grant costs one unit, and the cursor stays
+    /// put while the deficit lasts (so weight-3 sessions get ~3 grants
+    /// per round). Returns `None` when no registered session is
+    /// eligible.
+    pub fn next(&mut self, eligible: &dyn Fn(u64) -> bool) -> Option<u64> {
+        if !self.sessions.iter().any(|s| eligible(s.id)) {
+            return None;
+        }
+        loop {
+            if self.cursor >= self.sessions.len() {
+                self.cursor = 0;
+                self.fresh = true;
+            }
+            let s = &mut self.sessions[self.cursor];
+            if !eligible(s.id) {
+                s.deficit = 0.0;
+                self.cursor += 1;
+                self.fresh = true;
+                continue;
+            }
+            if self.fresh {
+                s.deficit += s.weight;
+                self.fresh = false;
+            }
+            if s.deficit >= 1.0 {
+                s.deficit -= 1.0;
+                return Some(s.id);
+            }
+            self.cursor += 1;
+            self.fresh = true;
+        }
+    }
+}
+
+/// A server-wide modeled pipeline timeline: one compile-lane pool, one
+/// H2D copy engine, and one compute-stream pool shared by every
+/// in-flight query. Queries place their launch-DAG node costs at their
+/// modeled arrival second, so contention *between* queries shows up as
+/// queue delay on the shared engines — the cross-query analogue of
+/// [`plan_timeline`]. Like the per-plan report, this is a side-band
+/// model: engine results and `ModeledTime` totals never depend on it.
+pub struct SharedTimeline {
+    state: Mutex<SharedState>,
+    streams: usize,
+    compile_lanes: usize,
+}
+
+struct SharedState {
+    compile: StreamScheduler,
+    copy: StreamScheduler,
+    compute: StreamScheduler,
+    queries: u64,
+    nodes: u64,
+    compile_s: f64,
+    h2d_s: f64,
+    exec_s: f64,
+    makespan_s: f64,
+}
+
+impl SharedState {
+    fn queue_total(&self) -> f64 {
+        self.compile.stats().queue_delay_total_s
+            + self.copy.stats().queue_delay_total_s
+            + self.compute.stats().queue_delay_total_s
+    }
+}
+
+/// Aggregate view of everything placed on a [`SharedTimeline`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SharedTimelineStats {
+    /// Queries that placed a DAG on the shared pools.
+    pub queries: u64,
+    /// Total DAG nodes placed.
+    pub nodes: u64,
+    /// Compute streams of the shared pool.
+    pub streams: usize,
+    /// Concurrent NVCC compile lanes of the shared pool.
+    pub compile_lanes: usize,
+    /// Total compile seconds placed on the compile lanes.
+    pub compile_s: f64,
+    /// Total H2D seconds placed on the copy engine.
+    pub h2d_s: f64,
+    /// Total execution seconds placed on the compute streams.
+    pub exec_s: f64,
+    /// Total queueing delay across all three shared engines.
+    pub queue_s: f64,
+    /// Modeled completion time of the whole server timeline.
+    pub makespan_s: f64,
+    /// `compile_s / (compile_lanes × makespan_s)` (0 when idle).
+    pub compile_utilization: f64,
+    /// `h2d_s / makespan_s` (one copy engine; 0 when idle).
+    pub copy_utilization: f64,
+    /// `exec_s / (streams × makespan_s)` (0 when idle).
+    pub stream_utilization: f64,
+}
+
+impl SharedTimeline {
+    /// A fresh timeline with `streams` compute streams and
+    /// `compile_lanes` NVCC lanes (both clamped to ≥ 1).
+    pub fn new(streams: usize, compile_lanes: usize) -> SharedTimeline {
+        let streams = streams.max(1);
+        let compile_lanes = compile_lanes.max(1);
+        SharedTimeline {
+            state: Mutex::new(SharedState {
+                compile: StreamScheduler::new(compile_lanes),
+                copy: StreamScheduler::new(1),
+                compute: StreamScheduler::new(streams),
+                queries: 0,
+                nodes: 0,
+                compile_s: 0.0,
+                h2d_s: 0.0,
+                exec_s: 0.0,
+                makespan_s: 0.0,
+            }),
+            streams,
+            compile_lanes,
+        }
+    }
+
+    /// Places one query's DAG node costs on the shared pools in
+    /// node-index order, with compiles issued at the query's modeled
+    /// `arrival_s` (they have no data dependencies). Returns the
+    /// query's own report: `makespan_s` and `queue_s` are relative to
+    /// its arrival, so they include whatever delay *other* in-flight
+    /// queries imposed on the shared engines.
+    pub fn place(&self, arrival_s: f64, nodes: &[DagNodeCost]) -> PipelineReport {
+        let arrival_s = if arrival_s.is_finite() { arrival_s.max(0.0) } else { 0.0 };
+        let mut st = self.state.lock().expect("shared timeline poisoned");
+        let q0 = st.queue_total();
+        let mut finish = vec![arrival_s; nodes.len()];
+        let mut makespan = arrival_s;
+        for (i, nd) in nodes.iter().enumerate() {
+            let ready = nd.deps.iter().map(|&d| finish[d]).fold(arrival_s, f64::max);
+            let c_end = if nd.compile_s > 0.0 {
+                st.compile.submit(arrival_s, nd.compile_s).end_s
+            } else {
+                arrival_s
+            };
+            let h_end = if nd.h2d_s > 0.0 { st.copy.submit(ready, nd.h2d_s).end_s } else { ready };
+            let start = ready.max(c_end).max(h_end);
+            finish[i] =
+                if nd.exec_s > 0.0 { st.compute.submit(start, nd.exec_s).end_s } else { start };
+            makespan = makespan.max(finish[i]);
+        }
+        let compile_total: f64 = nodes.iter().map(|n| n.compile_s).sum();
+        let h2d_total: f64 = nodes.iter().map(|n| n.h2d_s).sum();
+        let exec_total: f64 = nodes.iter().map(|n| n.exec_s).sum();
+        let serial_s = compile_total + h2d_total + exec_total;
+        let queue_s = st.queue_total() - q0;
+        st.queries += 1;
+        st.nodes += nodes.len() as u64;
+        st.compile_s += compile_total;
+        st.h2d_s += h2d_total;
+        st.exec_s += exec_total;
+        st.makespan_s = st.makespan_s.max(makespan);
+        let span = makespan - arrival_s;
+        let cap = self.streams as f64 * span;
+        PipelineReport {
+            nodes: nodes.len() as u64,
+            streams: self.streams,
+            compile_lanes: self.compile_lanes,
+            serial_s,
+            makespan_s: span,
+            overlap_s: (serial_s - span).max(0.0),
+            compile_s: compile_total,
+            h2d_s: h2d_total,
+            exec_s: exec_total,
+            queue_s,
+            utilization: if cap > 0.0 { exec_total / cap } else { 0.0 },
+        }
+    }
+
+    /// Aggregate stats over everything placed so far.
+    pub fn stats(&self) -> SharedTimelineStats {
+        let st = self.state.lock().expect("shared timeline poisoned");
+        let span = st.makespan_s;
+        let frac = |busy: f64, engines: usize| {
+            if span > 0.0 {
+                busy / (engines as f64 * span)
+            } else {
+                0.0
+            }
+        };
+        SharedTimelineStats {
+            queries: st.queries,
+            nodes: st.nodes,
+            streams: self.streams,
+            compile_lanes: self.compile_lanes,
+            compile_s: st.compile_s,
+            h2d_s: st.h2d_s,
+            exec_s: st.exec_s,
+            queue_s: st.queue_total(),
+            makespan_s: span,
+            compile_utilization: frac(st.compile_s, self.compile_lanes),
+            copy_utilization: frac(st.h2d_s, 1),
+            stream_utilization: frac(st.exec_s, self.streams),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +674,68 @@ mod tests {
         // The chain cannot overlap: makespan is the full 2 s.
         assert!((r.makespan_s - 2.0).abs() < 1e-12, "{r:?}");
         assert_eq!(r.overlap_s, 0.0);
+    }
+
+    #[test]
+    fn drr_splits_grants_by_weight_without_starvation() {
+        let mut drr = DeficitRoundRobin::new();
+        drr.set_weight(1, 3.0);
+        drr.set_weight(2, 1.0);
+        let mut grants = [0u32; 3];
+        for _ in 0..400 {
+            let id = drr.next(&|_| true).expect("both eligible");
+            grants[id as usize] += 1;
+        }
+        // 3:1 weights → ~300/100 grants; allow slack for round phase.
+        assert!((295..=305).contains(&grants[1]), "{grants:?}");
+        assert!((95..=105).contains(&grants[2]), "{grants:?}");
+
+        // A session with no queued work is skipped and forfeits deficit.
+        let only_two = |id: u64| id == 2;
+        for _ in 0..10 {
+            assert_eq!(drr.next(&only_two), Some(2));
+        }
+        // Nothing eligible → None, not a spin.
+        assert_eq!(drr.next(&|_| false), None);
+        let mut empty = DeficitRoundRobin::new();
+        assert_eq!(empty.next(&|_| true), None);
+
+        // Removal keeps the cursor consistent.
+        drr.ensure(7);
+        drr.remove(1);
+        assert_eq!(drr.next(&|id| id == 7), Some(7));
+    }
+
+    #[test]
+    fn shared_timeline_charges_cross_query_contention_as_queue_delay() {
+        // One stream, one lane: two queries arriving together contend.
+        let tl = SharedTimeline::new(1, 1);
+        let nodes =
+            vec![DagNodeCost { deps: vec![], compile_s: 0.3, h2d_s: 0.01, exec_s: 0.1 }];
+        let a = tl.place(0.0, &nodes);
+        let b = tl.place(0.0, &nodes);
+        // Query A runs uncontended; B queues behind A's compile + exec.
+        assert!(a.queue_s.abs() < 1e-12, "{a:?}");
+        assert!(b.queue_s > 0.25, "{b:?}");
+        assert!(b.makespan_s > a.makespan_s, "{b:?} vs {a:?}");
+        let s = tl.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.nodes, 2);
+        assert!((s.compile_s - 0.6).abs() < 1e-12, "{s:?}");
+        assert!(s.makespan_s >= b.makespan_s, "{s:?}");
+        assert!(s.stream_utilization > 0.0 && s.stream_utilization <= 1.0, "{s:?}");
+        assert!(s.compile_utilization > 0.0 && s.compile_utilization <= 1.0, "{s:?}");
+
+        // With wide pools the same two queries overlap instead.
+        let wide = SharedTimeline::new(4, 4);
+        let wa = wide.place(0.0, &nodes);
+        let wb = wide.place(0.0, &nodes);
+        assert!(wa.queue_s.abs() < 1e-12 && wb.queue_s < 0.02, "{wa:?} {wb:?}");
+
+        // Empty timeline: no NaNs.
+        let idle = SharedTimeline::new(2, 2).stats();
+        assert_eq!(idle.makespan_s, 0.0);
+        assert!(!idle.stream_utilization.is_nan());
     }
 
     #[test]

@@ -347,6 +347,17 @@ impl JitEngine {
         }
     }
 
+    /// A new engine sharing this one's options, kernel cache, and NVCC
+    /// emulation flag — what [`JitEngine::compile_async`] helpers and the
+    /// cross-query compile arena ([`crate::arena`]) run their compiles
+    /// on. Cache counters are shared, so a forked engine's compiles are
+    /// indistinguishable from this engine's.
+    pub fn fork(&self) -> JitEngine {
+        let mut e = JitEngine::with_cache(self.opts, Arc::clone(&self.cache));
+        e.emulate_nvcc = self.emulate_nvcc;
+        e
+    }
+
     /// Starts compiling `expr` on a helper thread and returns a handle to
     /// collect the result. The helper draws one token from the shared
     /// worker budget (`up_gpusim::par`) so concurrent `Auto` launches
@@ -357,8 +368,7 @@ impl JitEngine {
     /// [`JitEngine::compile`] on this engine.
     pub fn compile_async(&self, expr: &Expr) -> CompileHandle {
         let token = up_gpusim::par::acquire_extra(1);
-        let mut engine = JitEngine::with_cache(self.opts, Arc::clone(&self.cache));
-        engine.emulate_nvcc = self.emulate_nvcc;
+        let engine = self.fork();
         let expr = expr.clone();
         let join = std::thread::spawn(move || engine.compile(&expr));
         CompileHandle { join, _token: token }

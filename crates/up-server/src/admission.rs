@@ -6,9 +6,15 @@
 //! shutdown arrives. This is the load-shedding discipline a GPU service
 //! needs: the device has a fixed service rate, so an unbounded queue only
 //! converts overload into unbounded latency.
+//!
+//! Two dispatch disciplines share that contract: [`BoundedQueue`] is
+//! plain FIFO, and [`DrrQueue`] keeps one FIFO lane per session and
+//! dequeues by weighted deficit round-robin, so a chatty session cannot
+//! starve the others — the fairness half of the pipeline arena.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
+use up_gpusim::DeficitRoundRobin;
 
 /// Returned by [`BoundedQueue::push`] when the queue is at capacity or
 /// closed; hands the rejected item back to the caller.
@@ -104,6 +110,123 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+struct DrrInner<T> {
+    /// One FIFO lane per session; lanes persist (empty) across bursts so
+    /// the round-robin cursor math stays cheap and stable.
+    lanes: HashMap<u64, VecDeque<T>>,
+    drr: DeficitRoundRobin,
+    len: usize,
+    closed: bool,
+    max_depth: usize,
+}
+
+/// A bounded MPMC queue that dequeues by per-session weighted deficit
+/// round-robin instead of global FIFO.
+///
+/// Same contract as [`BoundedQueue`] — non-blocking `push` with an
+/// explicit [`QueueFull`] rejection, blocking `pop_blocking`, drain-then-
+/// `None` on [`close`](DrrQueue::close) — but each session gets its own
+/// FIFO lane and consumers pick the next lane by deficit round-robin, so
+/// grant share tracks session weight while order *within* a session stays
+/// submission order.
+pub struct DrrQueue<T> {
+    inner: Mutex<DrrInner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> DrrQueue<T> {
+    /// New queue holding at most `capacity` items total (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> DrrQueue<T> {
+        DrrQueue {
+            inner: Mutex::new(DrrInner {
+                lanes: HashMap::new(),
+                drr: DeficitRoundRobin::new(),
+                len: 0,
+                closed: false,
+                max_depth: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Capacity (shared across all sessions).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items queued right now, across all sessions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").len
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").max_depth
+    }
+
+    /// Sets a session's scheduling weight (share of dequeue grants).
+    pub fn set_weight(&self, session: u64, weight: f64) {
+        self.inner.lock().expect("queue poisoned").drr.set_weight(session, weight);
+    }
+
+    /// Enqueues `item` on `session`'s lane, returning the total depth
+    /// after the push, or the item back inside [`QueueFull`] when at
+    /// capacity (or closed).
+    pub fn push(&self, session: u64, item: T) -> Result<usize, QueueFull<T>> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        if g.closed || g.len >= self.capacity {
+            return Err(QueueFull(item));
+        }
+        g.lanes.entry(session).or_default().push_back(item);
+        g.drr.ensure(session);
+        g.len += 1;
+        let depth = g.len;
+        g.max_depth = g.max_depth.max(depth);
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues the next item by deficit round-robin over non-empty
+    /// session lanes, blocking while the queue is empty. Returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        loop {
+            if g.len > 0 {
+                let DrrInner { lanes, drr, .. } = &mut *g;
+                let id = drr
+                    .next(&|id| lanes.get(&id).is_some_and(|q| !q.is_empty()))
+                    .expect("non-empty queue has an eligible lane");
+                let item = lanes
+                    .get_mut(&id)
+                    .and_then(VecDeque::pop_front)
+                    .expect("eligible lane is non-empty");
+                g.len -= 1;
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, blocked consumers drain the
+    /// remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +266,59 @@ mod tests {
         assert!(q.push(2).is_err(), "closed queue rejects");
         assert_eq!(q.pop_blocking(), Some(1));
         assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn drr_queue_is_fifo_within_a_session_and_fair_across() {
+        let q: DrrQueue<(u64, i32)> = DrrQueue::new(64);
+        q.set_weight(1, 3.0);
+        q.set_weight(2, 1.0);
+        for i in 0..6 {
+            q.push(1, (1, i)).unwrap();
+            q.push(2, (2, i)).unwrap();
+        }
+        let mut by_session: HashMap<u64, Vec<i32>> = HashMap::new();
+        let mut first_eight_from_1 = 0;
+        for k in 0..12 {
+            let (s, i) = q.pop_blocking().unwrap();
+            if k < 8 && s == 1 {
+                first_eight_from_1 += 1;
+            }
+            by_session.entry(s).or_default().push(i);
+        }
+        // Within a session, submission order is preserved.
+        assert_eq!(by_session[&1], vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(by_session[&2], vec![0, 1, 2, 3, 4, 5]);
+        // Across sessions, the 3:1 weight shows up early: of the first
+        // 8 grants, session 1 gets ~6 (3 per round vs 1).
+        assert!(first_eight_from_1 >= 5, "{first_eight_from_1}");
+        assert!(q.is_empty());
+        assert_eq!(q.max_depth(), 12);
+    }
+
+    #[test]
+    fn drr_queue_rejects_at_capacity_and_drains_on_close() {
+        let q: DrrQueue<i32> = DrrQueue::new(2);
+        assert_eq!(q.push(7, 10).unwrap(), 1);
+        assert_eq!(q.push(8, 20).unwrap(), 2);
+        let QueueFull(rejected) = q.push(7, 30).unwrap_err();
+        assert_eq!(rejected, 30);
+        q.close();
+        assert!(q.push(8, 40).is_err(), "closed queue rejects");
+        let mut got = vec![q.pop_blocking().unwrap(), q.pop_blocking().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20]);
+        assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn drr_queue_wakes_blocked_consumers() {
+        let q: Arc<DrrQueue<i32>> = Arc::new(DrrQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(1, 42).unwrap();
+        assert_eq!(h.join().unwrap(), Some(42));
     }
 
     #[test]

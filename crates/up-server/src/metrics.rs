@@ -10,8 +10,9 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use up_gpusim::stream::StreamStats;
-use up_gpusim::PipelineReport;
+use up_gpusim::{PipelineReport, SharedTimelineStats};
 use up_jit::cache::CacheStats;
+use up_jit::CompileArenaStats;
 
 /// Power-of-two microsecond buckets: bucket `i` holds latencies in
 /// `[2^(i−1), 2^i)` µs, so 40 buckets cover ~13 µs-to-years.
@@ -156,6 +157,9 @@ pub struct MetricsRegistry {
     queue_depth: AtomicUsize,
     /// End-to-end (enqueue → reply) latency of completed queries.
     latency: LatencyHistogram,
+    /// Admission-queue wait (enqueue → dequeue) of every dequeued job —
+    /// the tail-latency signal the arena's fair scheduling targets.
+    queue_wait: LatencyHistogram,
     /// Modeled GPU kernel seconds (SM-seconds) executed.
     gpu_kernel_s: AtomicF64,
     /// Modeled stream queueing delay accumulated.
@@ -204,6 +208,12 @@ impl MetricsRegistry {
         self.latency.record(latency_s);
     }
 
+    /// A job spent `wait_s` in the admission queue before a worker took
+    /// it (recorded for canceled jobs too — they waited all the same).
+    pub fn on_queue_wait(&self, wait_s: f64) {
+        self.queue_wait.record(wait_s);
+    }
+
     /// A ticket's deadline expired before the reply arrived.
     pub fn on_timed_out(&self) {
         self.timed_out.fetch_add(1, Ordering::Relaxed);
@@ -247,6 +257,7 @@ impl MetricsRegistry {
         snap.canceled = self.canceled.load(Ordering::Relaxed);
         snap.queue_depth = self.queue_depth.load(Ordering::Relaxed);
         snap.latency = self.latency.summary();
+        snap.queue_wait = self.queue_wait.summary();
         snap.gpu_kernel_s = self.gpu_kernel_s.get();
         snap.gpu_queue_s = self.gpu_queue_s.get();
         snap.pipelined_queries = self.pipelined_queries.load(Ordering::Relaxed);
@@ -285,6 +296,8 @@ pub struct MetricsSnapshot {
     pub queue_max_depth: usize,
     /// End-to-end latency summary.
     pub latency: LatencySummary,
+    /// Admission-queue wait summary (enqueue → dequeue).
+    pub queue_wait: LatencySummary,
     /// Shared JIT kernel-cache counters.
     pub cache: CacheStats,
     /// Simulated GPU stream scheduler statistics.
@@ -302,6 +315,17 @@ pub struct MetricsSnapshot {
     /// Aggregate modeled stream utilization of pipelined plans
     /// (busy / capacity over their makespans, in `[0, 1]`).
     pub pipeline_utilization: f64,
+    /// Whether the cross-query pipeline arena is on.
+    pub arena_enabled: bool,
+    /// Arena compile-prefetch pool counters (registrations, dedups,
+    /// lane occupancy). All zero when the arena is off.
+    pub arena_compile: CompileArenaStats,
+    /// Arena shared launch-timeline counters (copy-engine and stream
+    /// utilization across queries). All zero when the arena is off.
+    pub arena_timeline: SharedTimelineStats,
+    /// Largest single session's share of total admission-queue wait, in
+    /// `[0, 1]`; near `1 / sessions` means the DRR scheduler is fair.
+    pub arena_max_wait_share: f64,
 }
 
 fn fmt_s(s: f64) -> String {
@@ -348,6 +372,15 @@ impl MetricsSnapshot {
             fmt_s(l.mean_s),
             l.count
         );
+        let w = &self.queue_wait;
+        let _ = writeln!(
+            o,
+            "queue wait:  p50 {} | p95 {} | max {} (n = {})",
+            fmt_s(w.p50_s),
+            fmt_s(w.p95_s),
+            fmt_s(w.max_s),
+            w.count
+        );
         let c = &self.cache;
         let _ = writeln!(
             o,
@@ -377,6 +410,31 @@ impl MetricsSnapshot {
             fmt_s(self.pipeline_overlap_s),
             self.pipeline_utilization * 100.0
         );
+        if self.arena_enabled {
+            let a = &self.arena_compile;
+            let _ = writeln!(
+                o,
+                "arena:       {} kernel refs, {} compiles started, {} cross-query dedups, {} prefetched taken, lanes {}/{} busy ({} queued)",
+                a.registered,
+                a.compiles_started,
+                a.cross_query_dedups,
+                a.prefetched_taken,
+                a.lanes_busy,
+                a.lanes,
+                a.queued
+            );
+            let t = &self.arena_timeline;
+            let _ = writeln!(
+                o,
+                "arena pools: {} queries / {} nodes placed, compile {:.1}%, copy {:.1}%, streams {:.1}% | max wait share {:.1}%",
+                t.queries,
+                t.nodes,
+                t.compile_utilization * 100.0,
+                t.copy_utilization * 100.0,
+                t.stream_utilization * 100.0,
+                self.arena_max_wait_share * 100.0
+            );
+        }
         o
     }
 }
@@ -466,6 +524,26 @@ mod tests {
         assert!((snap.pipeline_utilization - 0.5).abs() < 1e-12, "{}", snap.pipeline_utilization);
         let text = snap.report();
         assert!(text.contains("pipelining:  2 queries, 5 DAG nodes"), "{text}");
+    }
+
+    #[test]
+    fn queue_wait_and_arena_lines_render() {
+        let m = MetricsRegistry::new();
+        m.on_queue_wait(0.002);
+        m.on_queue_wait(0.004);
+        let mut snap = MetricsSnapshot::default();
+        m.fill(&mut snap);
+        assert_eq!(snap.queue_wait.count, 2);
+        assert!(snap.queue_wait.p95_s >= snap.queue_wait.p50_s);
+        // The arena block renders only when the arena is on.
+        assert!(!snap.report().contains("arena:"));
+        snap.arena_enabled = true;
+        snap.arena_compile.cross_query_dedups = 3;
+        snap.arena_max_wait_share = 0.25;
+        let text = snap.report();
+        assert!(text.contains("queue wait:"), "{text}");
+        assert!(text.contains("3 cross-query dedups"), "{text}");
+        assert!(text.contains("max wait share 25.0%"), "{text}");
     }
 
     #[test]

@@ -26,15 +26,25 @@
 //!   are placed on N simulated CUDA streams; the resulting queueing
 //!   delay lands in `ModeledTime::queue_s`, so reported times reflect
 //!   device contention, not just isolated execution.
+//! - **Pipeline arena** (opt-in via [`ServerConfig::arena`] or
+//!   `UP_ARENA=on`): submissions register their plan's kernel signatures
+//!   with a server-wide [`LaunchArena`] *at admission*, so compiles start
+//!   while the job is still queued, duplicate signatures across
+//!   concurrent queries attach to the in-flight compile instead of
+//!   compiling twice, dequeue order is per-session weighted deficit
+//!   round-robin, and launch DAGs share one modeled pool of compile
+//!   lanes, copy engine, and compute streams. Results, `ModeledTime`,
+//!   and cache hit/miss counts stay bit-identical to serial execution.
 
-use crate::admission::BoundedQueue;
+use crate::admission::{BoundedQueue, DrrQueue, QueueFull};
+use crate::arena::{ArenaStats, LaunchArena};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::session::{SessionId, SessionManager, SessionStats};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use up_engine::{Database, Profile, QueryError, QueryResult, Schema, Value};
+use up_engine::{ArenaCtx, Database, Profile, QueryError, QueryResult, Schema, Value};
 use up_gpusim::stream::StreamScheduler;
 use up_gpusim::{DeviceConfig, PipelineMode, SimParallelism};
 use up_jit::cache::{JitEngine, JitOptions, SharedKernelCache, DEFAULT_CACHE_CAPACITY};
@@ -63,6 +73,14 @@ pub struct ServerConfig {
     /// (results and modeled times are bit-identical across modes).
     /// Defaults from `UP_PIPELINE`, otherwise off.
     pub pipeline: PipelineMode,
+    /// Cross-query pipeline arena: admission-time compile prefetch,
+    /// cross-query signature dedup, DRR-fair dequeue, and shared launch
+    /// pools. Results and cache stats stay bit-identical either way.
+    /// Defaults from `UP_ARENA` (`off | on`), otherwise off.
+    pub arena: bool,
+    /// Concurrent NVCC compile lanes of the arena's prefetch pool
+    /// (ignored when [`arena`](ServerConfig::arena) is off).
+    pub compile_lanes: usize,
 }
 
 impl Default for ServerConfig {
@@ -75,8 +93,30 @@ impl Default for ServerConfig {
             default_timeout: Duration::from_secs(30),
             sim_par: SimParallelism::Auto,
             pipeline: PipelineMode::from_env().unwrap_or_default(),
+            arena: arena_from_env().unwrap_or(false),
+            compile_lanes: 8,
         }
     }
+}
+
+/// Reads `UP_ARENA` once per process; invalid values warn once and are
+/// ignored (same contract as `UP_PIPELINE` / `UP_SIM_THREADS`).
+fn arena_from_env() -> Option<bool> {
+    static CACHE: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| parse_arena_value(std::env::var("UP_ARENA").ok().as_deref()))
+}
+
+fn parse_arena_value(raw: Option<&str>) -> Option<bool> {
+    let raw = raw?;
+    let parsed = match raw.trim().to_ascii_lowercase().as_str() {
+        "on" | "1" | "true" => Some(true),
+        "off" | "0" | "false" => Some(false),
+        _ => None,
+    };
+    if parsed.is_none() {
+        eprintln!("warning: ignoring invalid UP_ARENA={raw:?} (expected off | on)");
+    }
+    parsed
 }
 
 /// Everything that can go wrong between `submit` and a result.
@@ -130,9 +170,69 @@ struct Job {
     session: SessionId,
     profile: Profile,
     sql: String,
+    /// Admission sequence in the arena (0 when the arena is off); owns
+    /// this query's prefetched compile entries until `on_query_done`.
+    seq: u64,
     cancel: Arc<AtomicBool>,
     enqueued: Instant,
     reply: mpsc::Sender<Result<QueryResult, ServerError>>,
+}
+
+/// The admission queue behind one of two dispatch disciplines: global
+/// FIFO, or per-session weighted deficit round-robin (arena mode).
+enum Dispatch {
+    Fifo(BoundedQueue<Job>),
+    Drr(DrrQueue<Job>),
+}
+
+impl Dispatch {
+    fn push(&self, session: u64, job: Job) -> Result<usize, QueueFull<Job>> {
+        match self {
+            Dispatch::Fifo(q) => q.push(job),
+            Dispatch::Drr(q) => q.push(session, job),
+        }
+    }
+
+    fn pop_blocking(&self) -> Option<Job> {
+        match self {
+            Dispatch::Fifo(q) => q.pop_blocking(),
+            Dispatch::Drr(q) => q.pop_blocking(),
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            Dispatch::Fifo(q) => q.close(),
+            Dispatch::Drr(q) => q.close(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Dispatch::Fifo(q) => q.len(),
+            Dispatch::Drr(q) => q.len(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            Dispatch::Fifo(q) => q.capacity(),
+            Dispatch::Drr(q) => q.capacity(),
+        }
+    }
+
+    fn max_depth(&self) -> usize {
+        match self {
+            Dispatch::Fifo(q) => q.max_depth(),
+            Dispatch::Drr(q) => q.max_depth(),
+        }
+    }
+
+    fn set_weight(&self, session: u64, weight: f64) {
+        if let Dispatch::Drr(q) = self {
+            q.set_weight(session, weight);
+        }
+    }
 }
 
 struct ServerInner {
@@ -141,7 +241,9 @@ struct ServerInner {
     sessions: SessionManager,
     metrics: MetricsRegistry,
     streams: Mutex<StreamScheduler>,
-    queue: BoundedQueue<Job>,
+    queue: Dispatch,
+    /// The cross-query launch scheduler; `Some` iff `config.arena`.
+    arena: Option<Arc<LaunchArena>>,
     started: Instant,
     config: ServerConfig,
 }
@@ -152,6 +254,7 @@ pub struct QueryTicket {
     rx: mpsc::Receiver<Result<QueryResult, ServerError>>,
     cancel: Arc<AtomicBool>,
     timeout: Duration,
+    seq: u64,
     inner: Arc<ServerInner>,
 }
 
@@ -191,6 +294,13 @@ impl QueryTicket {
     pub fn cancel(&self) {
         self.cancel.store(true, Ordering::Relaxed);
     }
+
+    /// The query's arena admission sequence — the order it registered
+    /// its kernels, which is also serial-replay order for determinism
+    /// checks. Always 0 when the arena is off.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 /// The concurrent query service. Cheap to share behind an `Arc`; all
@@ -221,13 +331,25 @@ impl UpServer {
     fn start(config: ServerConfig, mut db: Database, cache: Arc<SharedKernelCache>) -> UpServer {
         db.sim_par = config.sim_par;
         db.pipeline = config.pipeline;
+        // The arena forks the engine's JIT (shared cache + NVCC-emulation
+        // flag carry over) so prefetched compiles land in the same cache
+        // the workers hit.
+        let arena = config
+            .arena
+            .then(|| Arc::new(LaunchArena::new(db.jit().fork(), config.compile_lanes, config.gpu_streams)));
+        let queue = if config.arena {
+            Dispatch::Drr(DrrQueue::new(config.queue_capacity))
+        } else {
+            Dispatch::Fifo(BoundedQueue::new(config.queue_capacity))
+        };
         let inner = Arc::new(ServerInner {
             db: RwLock::new(db),
             jit_cache: cache,
             sessions: SessionManager::new(),
             metrics: MetricsRegistry::new(),
             streams: Mutex::new(StreamScheduler::new(config.gpu_streams)),
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue,
+            arena,
             started: Instant::now(),
             config,
         });
@@ -293,27 +415,55 @@ impl UpServer {
             .sessions
             .profile(session)
             .ok_or(ServerError::UnknownSession(session))?;
+        // Arena admission: register the plan's kernel signatures *now*,
+        // so first-occurrence compiles start while the job is queued and
+        // duplicates attach to them. Plan errors are deliberately ignored
+        // here — the worker will surface them as the query's real error.
+        let seq = match &self.inner.arena {
+            Some(arena) => {
+                let seq = arena.next_seq();
+                let weight = self.inner.sessions.weight(session).unwrap_or(1.0);
+                let kernels = self
+                    .inner
+                    .db
+                    .read()
+                    .expect("db poisoned")
+                    .plan_kernels(profile, sql);
+                if let Ok(kernels) = kernels {
+                    arena.register(session.0, weight, seq, &kernels);
+                }
+                seq
+            }
+            None => 0,
+        };
         let cancel = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel();
         let job = Job {
             session,
             profile,
             sql: sql.to_string(),
+            seq,
             cancel: Arc::clone(&cancel),
             enqueued: Instant::now(),
             reply: tx,
         };
-        match self.inner.queue.push(job) {
+        match self.inner.queue.push(session.0, job) {
             Ok(_depth) => {
                 self.inner.metrics.on_submitted();
                 Ok(QueryTicket {
                     rx,
                     cancel,
                     timeout: self.inner.config.default_timeout,
+                    seq,
                     inner: Arc::clone(&self.inner),
                 })
             }
             Err(_full) => {
+                // Rejected after registering → release the prefetched
+                // compile entries this seq owns.
+                if let Some(arena) = &self.inner.arena {
+                    arena.on_query_done(seq);
+                }
                 self.inner.metrics.on_rejected();
                 let queue_depth = self.inner.queue.len();
                 // Estimated time for the backlog to drain one slot.
@@ -331,6 +481,23 @@ impl UpServer {
         self.submit(session, sql)?.wait()
     }
 
+    /// Sets a session's fair-share weight for arena scheduling (dequeue
+    /// grants and compile-lane dispatch); false if the session is
+    /// unknown. A no-op scheduling-wise when the arena is off.
+    pub fn set_session_weight(&self, id: SessionId, weight: f64) -> bool {
+        let known = self.inner.sessions.set_weight(id, weight);
+        if known {
+            self.inner.queue.set_weight(id.0, weight);
+        }
+        known
+    }
+
+    /// Arena statistics (compile dedups, pool utilization, per-session
+    /// wait shares); `None` when the arena is off.
+    pub fn arena_stats(&self) -> Option<ArenaStats> {
+        self.inner.arena.as_ref().map(|a| a.stats())
+    }
+
     /// A point-in-time snapshot of every service metric.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
@@ -344,6 +511,13 @@ impl UpServer {
         snap.queue_max_depth = self.inner.queue.max_depth();
         snap.cache = self.inner.jit_cache.stats();
         snap.streams = self.inner.streams.lock().expect("streams poisoned").stats();
+        if let Some(arena) = &self.inner.arena {
+            let a = arena.stats();
+            snap.arena_enabled = true;
+            snap.arena_compile = a.compile;
+            snap.arena_timeline = a.timeline;
+            snap.arena_max_wait_share = a.max_wait_share;
+        }
         snap
     }
 
@@ -366,8 +540,17 @@ impl Drop for UpServer {
 fn worker_loop(inner: Arc<ServerInner>) {
     while let Some(job) = inner.queue.pop_blocking() {
         inner.metrics.on_dequeued();
+        let wait_s = job.enqueued.elapsed().as_secs_f64();
+        inner.metrics.on_queue_wait(wait_s);
+        if let Some(arena) = &inner.arena {
+            arena.record_wait(job.session.0, wait_s);
+        }
         if job.cancel.load(Ordering::Relaxed) {
             inner.metrics.on_canceled();
+            // A canceled job still owns its prefetched compile entries.
+            if let Some(arena) = &inner.arena {
+                arena.on_query_done(job.seq);
+            }
             let _ = job.reply.send(Err(ServerError::Canceled));
             continue;
         }
@@ -376,8 +559,23 @@ fn worker_loop(inner: Arc<ServerInner>) {
         let arrival_s = job.enqueued.duration_since(inner.started).as_secs_f64();
         let result = {
             let db = inner.db.read().expect("db poisoned");
-            db.query_as(job.profile, &job.sql)
+            match &inner.arena {
+                Some(arena) => db.query_with_arena(
+                    job.profile,
+                    &job.sql,
+                    ArenaCtx {
+                        compile: arena.compile(),
+                        timeline: arena.timeline(),
+                        seq: job.seq,
+                        arrival_s,
+                    },
+                ),
+                None => db.query_as(job.profile, &job.sql),
+            }
         };
+        if let Some(arena) = &inner.arena {
+            arena.on_query_done(job.seq);
+        }
         let result = result.map(|mut r| {
             if r.modeled.kernel_s > 0.0 {
                 let slot = inner
@@ -615,6 +813,67 @@ mod tests {
         assert!(m.pipeline_utilization > 0.0 && m.pipeline_utilization <= 1.0);
         let text = m.report();
         assert!(text.contains("pipelining:  1 queries"), "{text}");
+    }
+
+    #[test]
+    fn arena_env_parse_accepts_on_off_and_ignores_nonsense() {
+        assert_eq!(parse_arena_value(None), None);
+        assert_eq!(parse_arena_value(Some("on")), Some(true));
+        assert_eq!(parse_arena_value(Some("1")), Some(true));
+        assert_eq!(parse_arena_value(Some(" TRUE ")), Some(true));
+        assert_eq!(parse_arena_value(Some("off")), Some(false));
+        assert_eq!(parse_arena_value(Some("0")), Some(false));
+        // Invalid values warn to stderr and are ignored (config default
+        // stays off) instead of silently meaning something.
+        assert_eq!(parse_arena_value(Some("banana")), None);
+    }
+
+    #[test]
+    fn arena_mode_keeps_cache_accounting_identical_to_serial() {
+        let server = seeded_server(ServerConfig {
+            workers: 2,
+            arena: true,
+            ..ServerConfig::default()
+        });
+        let s = server.connect(Profile::UltraPrecise);
+        for _ in 0..4 {
+            let r = server.query(s, "SELECT x * x FROM t").unwrap();
+            assert_eq!(r.rows.len(), 4);
+        }
+        let m = server.metrics();
+        assert!(m.arena_enabled);
+        // Exactly what serial execution records: one miss, three hits —
+        // the prefetched result substitutes for the owner's cache access.
+        assert_eq!(m.cache.misses, 1, "one signature, compiled once");
+        assert_eq!(m.cache.hits, 3);
+        let st = server.arena_stats().unwrap();
+        assert_eq!(st.compile.registered, 4);
+        assert!(st.compile.compiles_started >= 1);
+        assert_eq!(st.compile.queued, 0, "prefetch queue drained");
+        assert!(m.queue_wait.count >= 4, "every dequeue records its wait");
+        assert!(m.report().contains("arena:"), "{}", m.report());
+    }
+
+    #[test]
+    fn arena_routes_pipelined_plans_through_shared_pools() {
+        let server = seeded_server(ServerConfig {
+            workers: 2,
+            arena: true,
+            pipeline: PipelineMode::On(4),
+            ..ServerConfig::default()
+        });
+        let s = server.connect(Profile::UltraPrecise);
+        let r = server
+            .query(s, "SELECT SUM(x * x), SUM(x + x) FROM t")
+            .unwrap();
+        assert!(r.pipeline.is_some(), "multi-slot plan should pipeline");
+        let st = server.arena_stats().unwrap();
+        assert_eq!(st.timeline.queries, 1, "DAG placed on the shared pools");
+        assert!(st.timeline.nodes >= 2, "{}", st.timeline.nodes);
+        assert_eq!(st.session_waits.len(), 1, "one session accounted");
+        // Per-session weights reach both the dequeue DRR and the map.
+        assert!(server.set_session_weight(s, 2.0));
+        assert!(!server.set_session_weight(SessionId(999), 2.0));
     }
 
     #[test]

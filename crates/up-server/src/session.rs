@@ -33,6 +33,8 @@ pub struct SessionStats {
 
 struct SessionState {
     profile: Profile,
+    /// Fair-share weight for arena scheduling (deficit round-robin).
+    weight: f64,
     stats: SessionStats,
 }
 
@@ -64,10 +66,10 @@ impl SessionManager {
     pub fn connect(&self, profile: Profile) -> SessionId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
-        self.sessions
-            .lock()
-            .expect("session map poisoned")
-            .insert(id, SessionState { profile, stats: SessionStats::default() });
+        self.sessions.lock().expect("session map poisoned").insert(
+            id,
+            SessionState { profile, weight: 1.0, stats: SessionStats::default() },
+        );
         SessionId(id)
     }
 
@@ -94,6 +96,27 @@ impl SessionManager {
         match self.sessions.lock().expect("session map poisoned").get_mut(&id.0) {
             Some(s) => {
                 s.profile = profile;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A session's fair-share scheduling weight (default 1.0).
+    pub fn weight(&self, id: SessionId) -> Option<f64> {
+        self.sessions
+            .lock()
+            .expect("session map poisoned")
+            .get(&id.0)
+            .map(|s| s.weight)
+    }
+
+    /// Changes a session's fair-share weight; false if the session is
+    /// unknown. Non-finite or non-positive weights fall back to 1.0.
+    pub fn set_weight(&self, id: SessionId, weight: f64) -> bool {
+        match self.sessions.lock().expect("session map poisoned").get_mut(&id.0) {
+            Some(s) => {
+                s.weight = if weight.is_finite() && weight > 0.0 { weight } else { 1.0 };
                 true
             }
             None => false,
@@ -156,6 +179,21 @@ mod tests {
         assert_eq!(m.total(), 2, "total is monotonic");
         assert!(m.profile(a).is_none());
         assert!(m.disconnect(a).is_none(), "double disconnect is None");
+    }
+
+    #[test]
+    fn weights_default_to_one_and_clamp_nonsense() {
+        let m = SessionManager::new();
+        let s = m.connect(Profile::UltraPrecise);
+        assert_eq!(m.weight(s), Some(1.0));
+        assert!(m.set_weight(s, 3.0));
+        assert_eq!(m.weight(s), Some(3.0));
+        assert!(m.set_weight(s, f64::NAN));
+        assert_eq!(m.weight(s), Some(1.0), "non-finite falls back to 1");
+        assert!(m.set_weight(s, -2.0));
+        assert_eq!(m.weight(s), Some(1.0), "non-positive falls back to 1");
+        assert!(!m.set_weight(SessionId(999), 2.0));
+        assert!(m.weight(SessionId(999)).is_none());
     }
 
     #[test]

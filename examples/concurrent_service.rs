@@ -1,6 +1,7 @@
 //! The query service under concurrent load: several client threads share
-//! one server (one database, one JIT cache, N simulated GPU streams),
-//! then the metrics report is printed.
+//! one server (one database, one JIT cache, N simulated GPU streams,
+//! and the cross-query pipeline arena), then the metrics report and
+//! arena statistics are printed.
 //!
 //! ```sh
 //! cargo run --release --example concurrent_service
@@ -11,11 +12,18 @@ use std::time::Instant;
 use ultraprecise::prelude::*;
 
 fn main() {
-    // A server with a 4-thread worker pool over 4 simulated CUDA streams.
-    // Kernel launches inside queries additionally parallelize across host
-    // cores (SimParallelism::Auto); simulator threads and query workers
-    // draw from one shared budget, so the layers compose.
-    let server = Arc::new(UpServer::new(ServerConfig::default()));
+    // A server with a 4-thread worker pool over 4 simulated CUDA streams,
+    // with the cross-query pipeline arena on: compiles start at admission
+    // on a shared lane pool, signatures dedup across sessions, and
+    // admission dequeues by weighted deficit-round-robin. Kernel launches
+    // inside queries additionally parallelize across host cores
+    // (SimParallelism::Auto); simulator threads and query workers draw
+    // from one shared budget, so the layers compose.
+    let server = Arc::new(UpServer::new(ServerConfig {
+        arena: true,
+        pipeline: PipelineMode::On(4),
+        ..ServerConfig::default()
+    }));
     println!(
         "simulator threads: {} effective on this host (SimParallelism::Auto, \
          shared with {} query workers)",
@@ -84,7 +92,41 @@ fn main() {
     }
 
     // The service dashboard: queue, latency, shared-cache efficiency,
-    // and modeled GPU stream occupancy.
+    // and modeled GPU stream occupancy — now including queue-wait
+    // percentiles and the arena lines.
     println!();
     print!("{}", server.metrics().report());
+
+    // The arena's own ledger: how much of the compile storm deduped
+    // across queries, how busy the shared pools ran, and whether any
+    // session hogged the admission queue.
+    let stats = server.arena_stats().expect("arena is enabled above");
+    println!();
+    println!(
+        "arena: {} kernel refs from {} queries, {} compiles started, \
+         {} cross-query dedups, {} prefetched results taken",
+        stats.compile.registered,
+        stats.timeline.queries,
+        stats.compile.compiles_started,
+        stats.compile.cross_query_dedups,
+        stats.compile.prefetched_taken,
+    );
+    println!(
+        "shared pools: compile {:.1}% | copy engine {:.1}% | streams {:.1}% \
+         (modeled, over a {:.3} s makespan)",
+        stats.timeline.compile_utilization * 100.0,
+        stats.timeline.copy_utilization * 100.0,
+        stats.timeline.stream_utilization * 100.0,
+        stats.timeline.makespan_s,
+    );
+    for (session, wait_s) in &stats.session_waits {
+        let total: f64 = stats.session_waits.iter().map(|(_, w)| w).sum();
+        let share = if total > 0.0 { wait_s / total * 100.0 } else { 0.0 };
+        println!("session {session}: queue wait {:.3} ms ({share:.1}% of total)", wait_s * 1e3);
+    }
+    println!(
+        "max per-session wait share: {:.1}% across {} session(s)",
+        stats.max_wait_share * 100.0,
+        stats.session_waits.len(),
+    );
 }

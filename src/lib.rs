@@ -46,6 +46,7 @@ pub use up_workloads;
 /// Convenient re-exports for applications.
 pub mod prelude {
     pub use up_engine::{ColumnType, Database, Profile, QueryError, QueryResult, Schema, Value};
+    pub use up_gpusim::{PipelineMode, SimParallelism};
     pub use up_num::{DecimalType, UpDecimal};
     pub use up_server::{ServerConfig, SessionId, UpServer};
 }
