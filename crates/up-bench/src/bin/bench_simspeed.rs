@@ -1,4 +1,6 @@
-//! `bench_simspeed` — host-side simulator throughput, serial vs parallel.
+//! `bench_simspeed` — host-side simulator throughput across interpreter
+//! backends (tree walker vs. pre-decoded flat programs) and host
+//! parallelism (serial vs. threaded block execution).
 //!
 //! Unlike the figure harnesses (which report *modeled* GPU time), this
 //! bin measures how fast the functional SIMT executor itself runs on the
@@ -12,7 +14,7 @@
 //!   at LEN ≥ 8 (precisions 76 and 153) — long multi-limb inner loops
 //!   where block-parallel execution pays off.
 //!
-//! Every parallel run is checked against the serial reference:
+//! Every run is checked against the tree-walker serial reference:
 //! byte-identical output buffers, `ExecStats` equal field-for-field, and
 //! the priced kernel time bit-equal (`f64::to_bits`). A violation aborts
 //! the bench — speed without determinism is a bug, not a result.
@@ -27,7 +29,10 @@ use std::time::Instant;
 use up_bench::{precision_for_len, HarnessOpts};
 use up_gpusim::cost::kernel_time;
 use up_gpusim::par::auto_threads;
-use up_gpusim::{launch_with, DeviceConfig, ExecStats, GlobalMem, LaunchConfig, SimParallelism};
+use up_gpusim::{
+    launch_opts, DeviceConfig, ExecBackend, ExecStats, GlobalMem, LaunchConfig, LaunchOpts,
+    SimParallelism,
+};
 use up_jit::cache::{Compiled, JitEngine};
 use up_jit::Expr;
 use up_num::{encode_compact, DecimalType};
@@ -78,6 +83,7 @@ fn workloads() -> Vec<Workload> {
 }
 
 struct ModeResult {
+    backend: &'static str,
     mode: String,
     wall_s: f64,
     tuples_per_s: f64,
@@ -148,14 +154,20 @@ fn main() {
 
         // Timed run: best-of-reps wall clock, plus the artifacts needed
         // for the determinism check.
-        let run = |par: SimParallelism| -> (ExecStats, Vec<Vec<u8>>, f64, f64) {
+        let run = |backend: ExecBackend,
+                   par: SimParallelism|
+         -> (ExecStats, Vec<Vec<u8>>, f64, f64) {
             let mut best = f64::INFINITY;
             let mut kept = None;
             for _ in 0..reps {
                 let mut mem = base.clone();
                 let t0 = Instant::now();
-                let stats = launch_with(&k.kernel, cfg, &device, &mut mem, &[n as u32], par)
-                    .expect("launch");
+                let stats = launch_opts(&k.kernel, cfg, &device, &mut mem, &[n as u32], LaunchOpts {
+                    par,
+                    backend,
+                    auto_serial_below: None,
+                })
+                .expect("launch");
                 let wall = t0.elapsed().as_secs_f64();
                 if wall < best {
                     best = wall;
@@ -168,15 +180,18 @@ fn main() {
             (stats, bufs, time, best)
         };
 
-        let (s_stats, s_bufs, s_time, s_wall) = run(SimParallelism::Serial);
+        // Reference: the tree walker, serial — everything else must match
+        // it to the bit.
+        let (s_stats, s_bufs, s_time, s_wall) = run(ExecBackend::Tree, SimParallelism::Serial);
         let serial_tps = n as f64 / s_wall;
         println!(
-            "{:<18} serial      {:>9.3} ms  {:>12.0} tuples/s",
+            "{:<18} tree/serial         {:>9.3} ms  {:>12.0} tuples/s",
             w.name,
             s_wall * 1e3,
             serial_tps
         );
         let mut modes = vec![ModeResult {
+            backend: "tree",
             mode: "serial".into(),
             wall_s: s_wall,
             tuples_per_s: serial_tps,
@@ -184,34 +199,46 @@ fn main() {
             identical: true,
         }];
 
-        let sweep: Vec<SimParallelism> = std::iter::once(SimParallelism::Threads(1))
-            .chain(thread_counts.iter().map(|&t| SimParallelism::Threads(t as u32)))
-            .chain(std::iter::once(SimParallelism::Auto))
-            .collect();
-        for par in sweep {
-            let (stats, bufs, time, wall) = run(par);
-            let identical = assert_identical(
-                w.name,
-                &par.to_string(),
-                (&s_stats, &s_bufs, s_time),
-                (&stats, &bufs, time),
-            );
-            let tps = n as f64 / wall;
-            println!(
-                "{:<18} {:<11} {:>9.3} ms  {:>12.0} tuples/s  {:>5.2}x",
-                "",
-                par.to_string(),
-                wall * 1e3,
-                tps,
-                s_wall / wall
-            );
-            modes.push(ModeResult {
-                mode: par.to_string(),
-                wall_s: wall,
-                tuples_per_s: tps,
-                speedup: s_wall / wall,
-                identical,
-            });
+        for backend in [ExecBackend::Tree, ExecBackend::Decoded] {
+            let sweep: Vec<SimParallelism> = std::iter::once(SimParallelism::Serial)
+                .chain(std::iter::once(SimParallelism::Threads(1)))
+                .chain(thread_counts.iter().map(|&t| SimParallelism::Threads(t as u32)))
+                .chain(std::iter::once(SimParallelism::Auto))
+                .collect();
+            for par in sweep {
+                if backend == ExecBackend::Tree && par == SimParallelism::Serial {
+                    continue; // the reference above
+                }
+                let backend_name = match backend {
+                    ExecBackend::Tree => "tree",
+                    _ => "decoded",
+                };
+                let label = format!("{backend_name}/{par}");
+                let (stats, bufs, time, wall) = run(backend, par);
+                let identical = assert_identical(
+                    w.name,
+                    &label,
+                    (&s_stats, &s_bufs, s_time),
+                    (&stats, &bufs, time),
+                );
+                let tps = n as f64 / wall;
+                println!(
+                    "{:<18} {:<19} {:>9.3} ms  {:>12.0} tuples/s  {:>5.2}x",
+                    "",
+                    label,
+                    wall * 1e3,
+                    tps,
+                    s_wall / wall
+                );
+                modes.push(ModeResult {
+                    backend: backend_name,
+                    mode: par.to_string(),
+                    wall_s: wall,
+                    tuples_per_s: tps,
+                    speedup: s_wall / wall,
+                    identical,
+                });
+            }
         }
         println!();
 
@@ -219,9 +246,10 @@ fn main() {
             .iter()
             .map(|m| {
                 format!(
-                    "{{\"mode\":\"{}\",\"wall_s\":{:.6},\"tuples_per_s\":{:.1},\
-                     \"speedup_vs_serial\":{:.3},\"identical_to_serial\":{}}}",
-                    m.mode, m.wall_s, m.tuples_per_s, m.speedup, m.identical
+                    "{{\"backend\":\"{}\",\"mode\":\"{}\",\"wall_s\":{:.6},\
+                     \"tuples_per_s\":{:.1},\"speedup_vs_serial\":{:.3},\
+                     \"identical_to_serial\":{}}}",
+                    m.backend, m.mode, m.wall_s, m.tuples_per_s, m.speedup, m.identical
                 )
             })
             .collect();
@@ -234,7 +262,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"bench\":\"simspeed\",\"host_threads\":{},\"quick\":{},\
+        "{{\"bench\":\"simspeed\",\"schema\":\"backend-x-parallelism-v2\",\
+         \"host_threads\":{},\"quick\":{},\
          \"tuples_per_run\":{},\"reps\":{},\"workloads\":[{}]}}\n",
         host,
         opts.quick,

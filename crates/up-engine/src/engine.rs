@@ -37,6 +37,10 @@ pub struct Database {
     /// independent expression slots. Rows and modeled times stay
     /// bit-identical across modes. Defaults from `UP_PIPELINE`.
     pub pipeline: up_gpusim::PipelineMode,
+    /// Functional-interpreter backend for kernel launches (tree walker
+    /// vs. pre-decoded flat programs). Results, stats, and modeled times
+    /// are bit-identical across backends. Defaults from `UP_SIM_EXEC`.
+    pub exec_backend: up_gpusim::ExecBackend,
 }
 
 impl Database {
@@ -51,6 +55,7 @@ impl Database {
             expr_tpi: 1,
             sim_par: up_gpusim::SimParallelism::default(),
             pipeline: up_gpusim::PipelineMode::from_env().unwrap_or_default(),
+            exec_backend: up_gpusim::ExecBackend::env_default(),
         }
     }
 
@@ -69,6 +74,7 @@ impl Database {
             expr_tpi: 1,
             sim_par: up_gpusim::SimParallelism::default(),
             pipeline: up_gpusim::PipelineMode::from_env().unwrap_or_default(),
+            exec_backend: up_gpusim::ExecBackend::env_default(),
         }
     }
 
@@ -171,6 +177,7 @@ impl Database {
             expr_tpi: self.expr_tpi,
             sim_par: self.sim_par,
             pipeline: self.pipeline,
+            exec_backend: self.exec_backend,
             arena,
         };
         execute(&plan, &ctx)
@@ -642,6 +649,46 @@ mod tests {
             );
             assert_eq!(serial.modeled.pcie_s.to_bits(), r.modeled.pcie_s.to_bits(), "{par}");
             assert_eq!(r.kernels, serial.kernels, "{par}");
+        }
+    }
+
+    #[test]
+    fn exec_backend_keeps_results_and_modeled_time_bit_identical() {
+        use up_gpusim::ExecBackend;
+        // The decoded interpreter must be invisible at the query level:
+        // same rows, same modeled times, same kernel attribution as the
+        // reference tree walker, under serial and threaded hosts alike.
+        let wide = dt(40, 4);
+        let run = |backend: ExecBackend, par: up_gpusim::SimParallelism| {
+            let mut db = Database::new(Profile::UltraPrecise);
+            db.exec_backend = backend;
+            db.sim_par = par;
+            db.create_table("w", Schema::new(vec![("x", ColumnType::Decimal(wide))]));
+            let rows = (1..=4096i64).map(|i| {
+                vec![Value::Decimal(
+                    UpDecimal::from_scaled_i64(i * 987_654_321, wide).unwrap(),
+                )]
+            });
+            db.insert_many("w", rows).unwrap();
+            db.query("SELECT x * x + x FROM w").unwrap()
+        };
+        let oracle = run(ExecBackend::Tree, up_gpusim::SimParallelism::Serial);
+        for (backend, par) in [
+            (ExecBackend::Decoded, up_gpusim::SimParallelism::Serial),
+            (ExecBackend::Decoded, up_gpusim::SimParallelism::Threads(8)),
+            (ExecBackend::Auto, up_gpusim::SimParallelism::Auto),
+        ] {
+            let r = run(backend, par);
+            assert_eq!(oracle.rows.len(), r.rows.len(), "{backend}/{par}");
+            for (a, b) in oracle.rows.iter().zip(&r.rows) {
+                assert_eq!(a[0].render(), b[0].render(), "{backend}/{par}");
+            }
+            assert_eq!(
+                oracle.modeled.kernel_s.to_bits(),
+                r.modeled.kernel_s.to_bits(),
+                "{backend}/{par}: modeled kernel time must be bit-equal to tree/serial"
+            );
+            assert_eq!(r.kernels, oracle.kernels, "{backend}/{par}");
         }
     }
 

@@ -207,6 +207,10 @@ pub struct ExecCtx<'a> {
     /// Bit-identical results and modeled times regardless of setting;
     /// only host wall-clock and the side-band [`PipelineReport`] change.
     pub pipeline: PipelineMode,
+    /// Functional-interpreter backend (tree walker vs. decoded flat
+    /// programs). Bit-identical results, stats, and modeled times; only
+    /// host wall-clock changes.
+    pub exec_backend: up_gpusim::ExecBackend,
     /// Server-wide pipeline-arena binding, when this query runs under
     /// `up-server` with the arena on: compiles rendezvous with the
     /// admission-time prefetch instead of compiling inline, and the
@@ -1273,8 +1277,18 @@ fn eval_decimal_gpu_jit(
             // geometry derived on the first launch (same inputs → same
             // config by construction, asserted in up-jit's tests).
             let cfg = k.launch_config(n as u64, 256, ctx.device);
-            let stats =
-                up_gpusim::launch_with(&k.kernel, cfg, ctx.device, &mut mem, &[n as u32], ctx.sim_par)
+            let stats = up_gpusim::launch_opts(
+                &k.kernel,
+                cfg,
+                ctx.device,
+                &mut mem,
+                &[n as u32],
+                up_gpusim::LaunchOpts {
+                    par: ctx.sim_par,
+                    backend: ctx.exec_backend,
+                    auto_serial_below: None,
+                },
+            )
                 .map_err(|e| match e {
                     up_gpusim::SimError::DivisionByZero { .. } => {
                         QueryError::Num(NumError::DivisionByZero)

@@ -1,0 +1,1384 @@
+//! Tier-2 executor: pre-decoded kernel programs and a warp-batched
+//! superblock interpreter.
+//!
+//! The reference tree-walker in [`crate::exec`] re-traverses the `Stmt`
+//! tree for every warp and re-matches the `Inst` enum once *per lane*
+//! (the match sits inside the per-lane closure). This module flattens a
+//! [`Kernel`] once into a flat array of decoded ops with explicit branch
+//! targets, memoized per-op issue cycles, and a static straight-line
+//! "superblock" analysis (`run_end`), then interprets that array with an
+//! instruction-outer/lane-inner loop over a structure-of-arrays register
+//! file. Inside full-mask superblocks no divergence stack or mask test
+//! runs at all.
+//!
+//! The decoded program is built once per kernel and cached on the kernel
+//! itself (see [`DecodedCache`]); since `up-jit` keeps compiled kernels in
+//! its shared cache behind an `Arc`, JIT cache hits amortize decode the
+//! same way they amortize compiles.
+//!
+//! **Bit-exactness contract**: for every kernel, the decoded interpreter
+//! produces byte-identical [`crate::GlobalMem`] contents, a
+//! field-identical [`crate::ExecStats`] (including the f64
+//! `warp_issue_cycles` sum, which is accumulated in the exact same
+//! per-instruction order), and the same error value on the same failing
+//! launch as the tree-walker. The differential fuzz tests below enforce
+//! this across divergence, `While` loops, shared memory, byte stores,
+//! carry chains, and all three error classes.
+
+use crate::exec::{
+    full_mask, note_transactions, shared_store, shared_word, ExecStats, Geometry, LaunchConfig,
+    MemAccess, SimError,
+};
+use crate::par::{env_parse, FxHashSet};
+use crate::ptx::{issue_cycles, CmpOp, Inst, Kernel, Special, Stmt};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Which functional interpreter executes launches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// The reference `Stmt`-tree walker (slow, kept as the oracle the
+    /// decoded interpreter is differentially tested against).
+    Tree,
+    /// The pre-decoded flat-program interpreter (fast path).
+    Decoded,
+    /// Decoded whenever the kernel decodes (they all do today), tree
+    /// otherwise. Combined with `SimParallelism::Auto`, small launches
+    /// also stay serial (see `exec::AUTO_MIN_THREADS`), so they stop
+    /// paying thread-spawn overhead.
+    #[default]
+    Auto,
+}
+
+impl ExecBackend {
+    /// Parses `tree`, `decoded`, or `auto` (CLI flags and `UP_SIM_EXEC`).
+    pub fn parse(s: &str) -> Option<ExecBackend> {
+        match s {
+            "tree" => Some(ExecBackend::Tree),
+            "decoded" => Some(ExecBackend::Decoded),
+            "auto" => Some(ExecBackend::Auto),
+            _ => None,
+        }
+    }
+
+    /// The `UP_SIM_EXEC` environment knob, read and parsed once per
+    /// process (a set-but-invalid value warns on stderr, like
+    /// `UP_SIM_THREADS`). `None` when unset or invalid.
+    pub fn from_env() -> Option<ExecBackend> {
+        static CACHE: OnceLock<Option<ExecBackend>> = OnceLock::new();
+        *CACHE.get_or_init(|| env_parse("UP_SIM_EXEC", "tree | decoded | auto", ExecBackend::parse))
+    }
+
+    /// `UP_SIM_EXEC` if set, else [`ExecBackend::Auto`].
+    pub fn env_default() -> ExecBackend {
+        ExecBackend::from_env().unwrap_or_default()
+    }
+
+    /// Whether launches under this knob run the decoded interpreter.
+    pub fn uses_decoded(self) -> bool {
+        !matches!(self, ExecBackend::Tree)
+    }
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecBackend::Tree => write!(f, "tree"),
+            ExecBackend::Decoded => write!(f, "decoded"),
+            ExecBackend::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// Lane stride of the structure-of-arrays register file: register `r` of
+/// lane `l` lives at `r * LANES + l`. Fixed at the warp width so decode
+/// is independent of launch geometry (partial warps just use a prefix).
+const LANES: usize = 32;
+
+/// A decoded instruction: the [`Inst`] operands resolved to
+/// structure-of-arrays offsets (`reg * 32`) so the interpreter indexes the
+/// flat register file directly, with no per-lane enum match.
+#[derive(Clone, Debug)]
+enum DOp {
+    MovImm { d: u32, imm: u32 },
+    Mov { d: u32, a: u32 },
+    MovSpecial { d: u32, s: Special },
+    Add { d: u32, a: u32, b: u32 },
+    AddCC { d: u32, a: u32, b: u32 },
+    AddC { d: u32, a: u32, b: u32 },
+    Sub { d: u32, a: u32, b: u32 },
+    SubCC { d: u32, a: u32, b: u32 },
+    SubC { d: u32, a: u32, b: u32 },
+    MulLo { d: u32, a: u32, b: u32 },
+    MulHi { d: u32, a: u32, b: u32 },
+    MadLoCC { d: u32, a: u32, b: u32, c: u32 },
+    MadHiC { d: u32, a: u32, b: u32, c: u32 },
+    Div { d: u32, a: u32, b: u32 },
+    Rem { d: u32, a: u32, b: u32 },
+    Div64 { dlo: u32, dhi: u32, alo: u32, ahi: u32, blo: u32, bhi: u32 },
+    Rem64 { dlo: u32, dhi: u32, alo: u32, ahi: u32, blo: u32, bhi: u32 },
+    Bfind { d: u32, a: u32 },
+    DivBig { d: u32, dn: u8, a: u32, an: u8, b: u32, bn: u8, rem: bool },
+    Shl { d: u32, a: u32, b: u32 },
+    Shr { d: u32, a: u32, b: u32 },
+    And { d: u32, a: u32, b: u32 },
+    Or { d: u32, a: u32, b: u32 },
+    Xor { d: u32, a: u32, b: u32 },
+    SetP { p: u8, op: CmpOp, a: u32, b: u32 },
+    SetPImm { p: u8, op: CmpOp, a: u32, imm: u32 },
+    PAnd { p: u8, a: u8, b: u8 },
+    PNot { p: u8, a: u8 },
+    Selp { d: u32, a: u32, b: u32, p: u8 },
+    LdGlobal { d: u32, buf: u8, addr: u32 },
+    LdGlobalU8 { d: u32, buf: u8, addr: u32 },
+    StGlobal { buf: u8, addr: u32, src: u32 },
+    StGlobalU8 { buf: u8, addr: u32, src: u32 },
+    LdShared { d: u32, addr: u32 },
+    StShared { addr: u32, src: u32 },
+    LdParam { d: u32, idx: u8 },
+    BarSync,
+    ShflIdx { d: u32, a: u32, lane: u32 },
+    Ballot { d: u32, p: u8 },
+}
+
+/// One op of the flat program. Control ops carry explicit targets; the
+/// interpreter *jumps over* zero-mask regions instead of masking through
+/// them, which is exactly how the tree-walker's `if mask == 0 {{ return }}`
+/// early-outs behave (no stats, no effects).
+#[derive(Clone, Debug)]
+enum Op {
+    /// A plain instruction: the decoded op, its memoized issue cycles,
+    /// and the end (exclusive) of the maximal straight-line run of `I`
+    /// ops it belongs to — the static superblock bound.
+    I { dop: DOp, cycles: f64, run_end: u32 },
+    /// Branch head: computes taken/not-taken, pays the 1-cycle branch
+    /// issue, pushes a frame, and either falls through into `then` or
+    /// jumps to `else_pc` (the matching [`Op::Else`]).
+    If { p: u8, else_pc: u32 },
+    /// Then/else seam: switches the mask to the frame's not-taken set,
+    /// jumping to `end_pc` (the matching [`Op::EndIf`]) when it is empty.
+    Else { end_pc: u32 },
+    /// Branch reconvergence: restores the outer mask and pops the frame.
+    EndIf,
+    /// Loop head: pushes a loop frame capturing the outer mask.
+    WhileBegin,
+    /// Loop test (placed after the condition block): drops lanes whose
+    /// predicate cleared, counts divergence, and exits to `end_pc` when
+    /// no lane remains.
+    WhileTest { p: u8, end_pc: u32 },
+    /// Loop backedge: bumps the iteration count, enforces `max_iter`, and
+    /// jumps back to `cond_pc`.
+    WhileEnd { cond_pc: u32, max_iter: u32 },
+}
+
+/// A kernel pre-decoded for the warp-batched interpreter: flat ops with
+/// branch targets, memoized issue cycles, and superblock run bounds.
+/// Built once per kernel (see [`Kernel::decoded_program`]) and shared by
+/// every launch and every clone of the kernel.
+#[derive(Debug)]
+pub struct DecodedProgram {
+    ops: Vec<Op>,
+    /// Static instruction count (loop bodies once) — memoized here so
+    /// `Kernel::static_inst_count` and the compile-time model stop
+    /// re-walking the tree.
+    static_insts: usize,
+    /// Number of maximal straight-line `I` runs (superblocks).
+    superblocks: usize,
+}
+
+impl DecodedProgram {
+    /// Static instructions (same count as the tree walk: each `I`, `If`,
+    /// and `While` is one).
+    pub fn static_inst_count(&self) -> usize {
+        self.static_insts
+    }
+
+    /// Flat ops in the program (instructions plus control markers).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Maximal straight-line instruction runs — the regions the
+    /// interpreter executes with no control or mask checks when the warp
+    /// is converged.
+    pub fn superblock_count(&self) -> usize {
+        self.superblocks
+    }
+}
+
+static DECODE_BUILDS: AtomicU64 = AtomicU64::new(0);
+static DECODE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide decode counters: `(programs_built, cache_hits)`. A hit is
+/// any [`Kernel::decoded_program`] call answered by the kernel's cache —
+/// JIT-cached kernels hit once per launch after the first.
+pub fn decode_counters() -> (u64, u64) {
+    (DECODE_BUILDS.load(Ordering::Relaxed), DECODE_HITS.load(Ordering::Relaxed))
+}
+
+/// Per-kernel decode cache. Cloning a kernel after its program is built
+/// shares the `Arc`; the JIT cache holds kernels behind `Arc` anyway, so
+/// every cache hit reuses the same decoded program.
+#[derive(Clone, Default)]
+pub struct DecodedCache(OnceLock<Arc<DecodedProgram>>);
+
+impl DecodedCache {
+    pub(crate) fn get_or_decode(&self, kernel: &Kernel) -> &Arc<DecodedProgram> {
+        if let Some(p) = self.0.get() {
+            DECODE_HITS.fetch_add(1, Ordering::Relaxed);
+            return p;
+        }
+        self.0.get_or_init(|| {
+            DECODE_BUILDS.fetch_add(1, Ordering::Relaxed);
+            Arc::new(decode(kernel))
+        })
+    }
+}
+
+impl std::fmt::Debug for DecodedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.get() {
+            Some(p) => write!(f, "DecodedCache({} ops)", p.op_count()),
+            None => write!(f, "DecodedCache(empty)"),
+        }
+    }
+}
+
+/// Flattens a kernel's statement tree into a [`DecodedProgram`].
+fn decode(kernel: &Kernel) -> DecodedProgram {
+    let mut ops = Vec::new();
+    let mut static_insts = 0usize;
+    flatten(&kernel.body, &mut ops, &mut static_insts);
+    // Superblock analysis: run_end[i] = end (exclusive) of the maximal
+    // consecutive run of `I` ops containing i.
+    let mut superblocks = 0usize;
+    let mut end = 0u32;
+    for i in (0..ops.len()).rev() {
+        if let Op::I { run_end, .. } = &mut ops[i] {
+            if end as usize <= i {
+                end = i as u32 + 1;
+                superblocks += 1;
+            }
+            *run_end = end;
+        } else {
+            end = 0;
+        }
+    }
+    DecodedProgram { ops, static_insts, superblocks }
+}
+
+fn flatten(stmts: &[Stmt], ops: &mut Vec<Op>, static_insts: &mut usize) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::I(inst) => {
+                *static_insts += 1;
+                ops.push(Op::I { dop: decode_inst(inst), cycles: issue_cycles(inst), run_end: 0 });
+            }
+            Stmt::If { p, then_, else_ } => {
+                *static_insts += 1;
+                let if_at = ops.len();
+                ops.push(Op::If { p: *p, else_pc: 0 });
+                flatten(then_, ops, static_insts);
+                let else_at = ops.len();
+                ops.push(Op::Else { end_pc: 0 });
+                flatten(else_, ops, static_insts);
+                let end_at = ops.len();
+                ops.push(Op::EndIf);
+                let Op::If { else_pc, .. } = &mut ops[if_at] else { unreachable!() };
+                *else_pc = else_at as u32;
+                let Op::Else { end_pc } = &mut ops[else_at] else { unreachable!() };
+                *end_pc = end_at as u32;
+            }
+            Stmt::While { p, cond, body, max_iter } => {
+                *static_insts += 1;
+                ops.push(Op::WhileBegin);
+                let cond_pc = ops.len() as u32;
+                flatten(cond, ops, static_insts);
+                let test_at = ops.len();
+                ops.push(Op::WhileTest { p: *p, end_pc: 0 });
+                flatten(body, ops, static_insts);
+                let end_at = ops.len();
+                ops.push(Op::WhileEnd { cond_pc, max_iter: *max_iter });
+                let Op::WhileTest { end_pc, .. } = &mut ops[test_at] else { unreachable!() };
+                *end_pc = end_at as u32 + 1;
+            }
+        }
+    }
+}
+
+fn decode_inst(inst: &Inst) -> DOp {
+    // Pre-scale register operands by the SoA lane stride.
+    let r = |x: &u16| *x as u32 * LANES as u32;
+    match inst {
+        Inst::MovImm { d, imm } => DOp::MovImm { d: r(d), imm: *imm },
+        Inst::Mov { d, a } => DOp::Mov { d: r(d), a: r(a) },
+        Inst::MovSpecial { d, s } => DOp::MovSpecial { d: r(d), s: *s },
+        Inst::Add { d, a, b } => DOp::Add { d: r(d), a: r(a), b: r(b) },
+        Inst::AddCC { d, a, b } => DOp::AddCC { d: r(d), a: r(a), b: r(b) },
+        Inst::AddC { d, a, b } => DOp::AddC { d: r(d), a: r(a), b: r(b) },
+        Inst::Sub { d, a, b } => DOp::Sub { d: r(d), a: r(a), b: r(b) },
+        Inst::SubCC { d, a, b } => DOp::SubCC { d: r(d), a: r(a), b: r(b) },
+        Inst::SubC { d, a, b } => DOp::SubC { d: r(d), a: r(a), b: r(b) },
+        Inst::MulLo { d, a, b } => DOp::MulLo { d: r(d), a: r(a), b: r(b) },
+        Inst::MulHi { d, a, b } => DOp::MulHi { d: r(d), a: r(a), b: r(b) },
+        Inst::MadLoCC { d, a, b, c } => DOp::MadLoCC { d: r(d), a: r(a), b: r(b), c: r(c) },
+        Inst::MadHiC { d, a, b, c } => DOp::MadHiC { d: r(d), a: r(a), b: r(b), c: r(c) },
+        Inst::Div { d, a, b } => DOp::Div { d: r(d), a: r(a), b: r(b) },
+        Inst::Rem { d, a, b } => DOp::Rem { d: r(d), a: r(a), b: r(b) },
+        Inst::Div64 { dlo, dhi, alo, ahi, blo, bhi } => DOp::Div64 {
+            dlo: r(dlo),
+            dhi: r(dhi),
+            alo: r(alo),
+            ahi: r(ahi),
+            blo: r(blo),
+            bhi: r(bhi),
+        },
+        Inst::Rem64 { dlo, dhi, alo, ahi, blo, bhi } => DOp::Rem64 {
+            dlo: r(dlo),
+            dhi: r(dhi),
+            alo: r(alo),
+            ahi: r(ahi),
+            blo: r(blo),
+            bhi: r(bhi),
+        },
+        Inst::Bfind { d, a } => DOp::Bfind { d: r(d), a: r(a) },
+        Inst::DivBig { d, dn, a, an, b, bn } => {
+            DOp::DivBig { d: r(d), dn: *dn, a: r(a), an: *an, b: r(b), bn: *bn, rem: false }
+        }
+        Inst::RemBig { d, dn, a, an, b, bn } => {
+            DOp::DivBig { d: r(d), dn: *dn, a: r(a), an: *an, b: r(b), bn: *bn, rem: true }
+        }
+        Inst::Shl { d, a, b } => DOp::Shl { d: r(d), a: r(a), b: r(b) },
+        Inst::Shr { d, a, b } => DOp::Shr { d: r(d), a: r(a), b: r(b) },
+        Inst::And { d, a, b } => DOp::And { d: r(d), a: r(a), b: r(b) },
+        Inst::Or { d, a, b } => DOp::Or { d: r(d), a: r(a), b: r(b) },
+        Inst::Xor { d, a, b } => DOp::Xor { d: r(d), a: r(a), b: r(b) },
+        Inst::SetP { p, op, a, b } => DOp::SetP { p: *p, op: *op, a: r(a), b: r(b) },
+        Inst::SetPImm { p, op, a, imm } => DOp::SetPImm { p: *p, op: *op, a: r(a), imm: *imm },
+        Inst::PAnd { p, a, b } => DOp::PAnd { p: *p, a: *a, b: *b },
+        Inst::PNot { p, a } => DOp::PNot { p: *p, a: *a },
+        Inst::Selp { d, a, b, p } => DOp::Selp { d: r(d), a: r(a), b: r(b), p: *p },
+        Inst::LdGlobal { d, buf, addr } => DOp::LdGlobal { d: r(d), buf: *buf, addr: r(addr) },
+        Inst::LdGlobalU8 { d, buf, addr } => DOp::LdGlobalU8 { d: r(d), buf: *buf, addr: r(addr) },
+        Inst::StGlobal { buf, addr, src } => DOp::StGlobal { buf: *buf, addr: r(addr), src: r(src) },
+        Inst::StGlobalU8 { buf, addr, src } => {
+            DOp::StGlobalU8 { buf: *buf, addr: r(addr), src: r(src) }
+        }
+        Inst::LdShared { d, addr } => DOp::LdShared { d: r(d), addr: r(addr) },
+        Inst::StShared { addr, src } => DOp::StShared { addr: r(addr), src: r(src) },
+        Inst::LdParam { d, idx } => DOp::LdParam { d: r(d), idx: *idx },
+        Inst::BarSync => DOp::BarSync,
+        Inst::ShflIdx { d, a, lane } => DOp::ShflIdx { d: r(d), a: r(a), lane: r(lane) },
+        Inst::Ballot { d, p } => DOp::Ballot { d: r(d), p: *p },
+    }
+}
+
+/// Divergence frames of the flat interpreter — the explicit equivalent of
+/// the tree-walker's recursion.
+enum Frame {
+    If { outer: u32, not_taken: u32 },
+    While { outer: u32, iters: u32 },
+}
+
+/// Warp state in structure-of-arrays layout: contiguous lane rows per
+/// register (`regs[r*32 + l]`), predicate registers as 32-bit lane masks,
+/// and the carry flags as one lane mask.
+struct DCtx<'a, M: MemAccess> {
+    regs: Vec<u32>,
+    preds: Vec<u32>,
+    carry: u32,
+    smem: Vec<u8>,
+    mem: &'a mut M,
+    params: &'a [u32],
+    stats: ExecStats,
+    seen: FxHashSet<(u8, u32)>,
+    kernel_name: &'a str,
+}
+
+/// Runs the active lanes in ascending order: a plain prefix loop when the
+/// compiler knows the warp is converged (`FULL`), a set-bit walk otherwise.
+#[inline(always)]
+fn lanes_apply<const FULL: bool>(mask: u32, lanes_n: usize, mut f: impl FnMut(usize)) {
+    if FULL {
+        for l in 0..lanes_n {
+            f(l);
+        }
+    } else {
+        let mut m = mask;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            f(l);
+        }
+    }
+}
+
+/// Runs one block's warps through the decoded program. Mirrors
+/// `exec::run_block` exactly: warps sequential, shared memory per block,
+/// sector set cleared per warp, stats accumulated per instruction in
+/// program order.
+pub(crate) fn run_block_decoded<M: MemAccess>(
+    prog: &DecodedProgram,
+    kernel: &Kernel,
+    cfg: LaunchConfig,
+    block: u32,
+    mem: &mut M,
+    params: &[u32],
+    warp: usize,
+) -> Result<ExecStats, SimError> {
+    let mut c = DCtx {
+        regs: vec![0u32; kernel.num_regs as usize * LANES],
+        preds: vec![0u32; kernel.num_preds as usize],
+        carry: 0,
+        smem: vec![0u8; kernel.smem_bytes as usize],
+        mem,
+        params,
+        stats: ExecStats { sample_scale: 1.0, ..Default::default() },
+        seen: FxHashSet::default(),
+        kernel_name: &kernel.name,
+    };
+    let threads = cfg.block_threads as usize;
+    let mut frames: Vec<Frame> = Vec::with_capacity(8);
+    for warp_start in (0..threads).step_by(warp) {
+        let lanes_n = warp.min(threads - warp_start);
+        c.regs.fill(0);
+        c.preds.fill(0);
+        c.carry = 0;
+        c.seen.clear();
+        frames.clear();
+        let geom = Geometry {
+            tid_base: warp_start as u32,
+            ctaid: block,
+            ntid: cfg.block_threads,
+            nctaid: cfg.grid_blocks,
+        };
+        run_warp(prog, &mut c, &mut frames, &geom, lanes_n)?;
+        c.stats.warps += 1;
+    }
+    c.stats.blocks += 1;
+    Ok(c.stats)
+}
+
+/// The flat-program interpreter loop. Invariant: `mask != 0` whenever an
+/// `I` op executes — control ops jump over empty regions, reproducing the
+/// tree-walker's zero-mask early-outs (which contribute no stats at all).
+fn run_warp<M: MemAccess>(
+    prog: &DecodedProgram,
+    c: &mut DCtx<'_, M>,
+    frames: &mut Vec<Frame>,
+    geom: &Geometry,
+    lanes_n: usize,
+) -> Result<(), SimError> {
+    let ops = &prog.ops[..];
+    let full = full_mask(lanes_n);
+    let mut mask = full;
+    let mut pc = 0usize;
+    while pc < ops.len() {
+        match &ops[pc] {
+            Op::I { dop, cycles, run_end } => {
+                if mask == full {
+                    // Superblock fast path: the whole straight-line run
+                    // executes converged, with no mask or control tests.
+                    let end = *run_end as usize;
+                    let (mut dop, mut cycles) = (dop, cycles);
+                    loop {
+                        c.stats.warp_issues += 1;
+                        c.stats.warp_issue_cycles += *cycles;
+                        c.stats.thread_insts += lanes_n as u64;
+                        exec_dop::<true, M>(c, dop, geom, full, lanes_n)?;
+                        pc += 1;
+                        if pc >= end {
+                            break;
+                        }
+                        let Op::I { dop: d, cycles: cy, .. } = &ops[pc] else { unreachable!() };
+                        (dop, cycles) = (d, cy);
+                    }
+                } else {
+                    c.stats.warp_issues += 1;
+                    c.stats.warp_issue_cycles += *cycles;
+                    c.stats.thread_insts += mask.count_ones() as u64;
+                    exec_dop::<false, M>(c, dop, geom, mask, lanes_n)?;
+                    pc += 1;
+                }
+            }
+            Op::If { p, else_pc } => {
+                let taken = c.preds[*p as usize] & mask;
+                let not_taken = mask & !taken;
+                if taken != 0 && not_taken != 0 {
+                    c.stats.divergent_branches += 1;
+                }
+                // Branch issue cost — paid whenever the branch is reached
+                // with a live mask, exactly like the tree-walker.
+                c.stats.warp_issues += 1;
+                c.stats.warp_issue_cycles += 1.0;
+                frames.push(Frame::If { outer: mask, not_taken });
+                if taken != 0 {
+                    mask = taken;
+                    pc += 1;
+                } else {
+                    pc = *else_pc as usize;
+                }
+            }
+            Op::Else { end_pc } => {
+                let Some(Frame::If { not_taken, .. }) = frames.last() else { unreachable!() };
+                mask = *not_taken;
+                if mask == 0 {
+                    pc = *end_pc as usize;
+                } else {
+                    pc += 1;
+                }
+            }
+            Op::EndIf => {
+                let Some(Frame::If { outer, .. }) = frames.pop() else { unreachable!() };
+                mask = outer;
+                pc += 1;
+            }
+            Op::WhileBegin => {
+                frames.push(Frame::While { outer: mask, iters: 0 });
+                pc += 1;
+            }
+            Op::WhileTest { p, end_pc } => {
+                let still = c.preds[*p as usize] & mask;
+                if still != mask && still != 0 {
+                    c.stats.divergent_branches += 1;
+                }
+                if still == 0 {
+                    let Some(Frame::While { outer, .. }) = frames.pop() else { unreachable!() };
+                    mask = outer;
+                    pc = *end_pc as usize;
+                } else {
+                    mask = still;
+                    pc += 1;
+                }
+            }
+            Op::WhileEnd { cond_pc, max_iter } => {
+                let Some(Frame::While { iters, .. }) = frames.last_mut() else { unreachable!() };
+                *iters += 1;
+                if *iters > *max_iter {
+                    return Err(SimError::MaxIterExceeded {
+                        kernel: c.kernel_name.to_string(),
+                        bound: *max_iter,
+                    });
+                }
+                pc = *cond_pc as usize;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executes one decoded op over the active lanes. Instruction-outer,
+/// lane-inner: the opcode dispatch happens once per warp, and each arm
+/// runs a tight lane loop over contiguous SoA rows.
+#[allow(clippy::needless_range_loop)]
+fn exec_dop<const FULL: bool, M: MemAccess>(
+    c: &mut DCtx<'_, M>,
+    dop: &DOp,
+    geom: &Geometry,
+    mask: u32,
+    n: usize,
+) -> Result<(), SimError> {
+    let DCtx { regs, preds, carry, smem, mem, params, stats, seen, kernel_name } = c;
+    let regs = &mut regs[..];
+    match dop {
+        DOp::MovImm { d, imm } => {
+            let d = *d as usize;
+            let imm = *imm;
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = imm);
+        }
+        DOp::Mov { d, a } => {
+            let (d, a) = (*d as usize, *a as usize);
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = regs[a + l]);
+        }
+        DOp::MovSpecial { d, s } => {
+            let d = *d as usize;
+            match s {
+                Special::TidX => {
+                    let base = geom.tid_base;
+                    lanes_apply::<FULL>(mask, n, |l| regs[d + l] = base + l as u32);
+                }
+                Special::CtaIdX => {
+                    let v = geom.ctaid;
+                    lanes_apply::<FULL>(mask, n, |l| regs[d + l] = v);
+                }
+                Special::NTidX => {
+                    let v = geom.ntid;
+                    lanes_apply::<FULL>(mask, n, |l| regs[d + l] = v);
+                }
+                Special::NCtaIdX => {
+                    let v = geom.nctaid;
+                    lanes_apply::<FULL>(mask, n, |l| regs[d + l] = v);
+                }
+            }
+        }
+        DOp::Add { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = regs[a + l].wrapping_add(regs[b + l]));
+        }
+        DOp::AddCC { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            let mut cbits = *carry;
+            lanes_apply::<FULL>(mask, n, |l| {
+                let (s, co) = regs[a + l].overflowing_add(regs[b + l]);
+                regs[d + l] = s;
+                let bit = 1u32 << l;
+                if co {
+                    cbits |= bit;
+                } else {
+                    cbits &= !bit;
+                }
+            });
+            *carry = cbits;
+        }
+        DOp::AddC { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            let old = *carry;
+            let mut cbits = old;
+            lanes_apply::<FULL>(mask, n, |l| {
+                let (s1, c1) = regs[a + l].overflowing_add(regs[b + l]);
+                let (s2, c2) = s1.overflowing_add(old >> l & 1);
+                regs[d + l] = s2;
+                let bit = 1u32 << l;
+                if c1 | c2 {
+                    cbits |= bit;
+                } else {
+                    cbits &= !bit;
+                }
+            });
+            *carry = cbits;
+        }
+        DOp::Sub { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = regs[a + l].wrapping_sub(regs[b + l]));
+        }
+        DOp::SubCC { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            let mut cbits = *carry;
+            lanes_apply::<FULL>(mask, n, |l| {
+                let (s, co) = regs[a + l].overflowing_sub(regs[b + l]);
+                regs[d + l] = s;
+                let bit = 1u32 << l;
+                if co {
+                    cbits |= bit;
+                } else {
+                    cbits &= !bit;
+                }
+            });
+            *carry = cbits;
+        }
+        DOp::SubC { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            let old = *carry;
+            let mut cbits = old;
+            lanes_apply::<FULL>(mask, n, |l| {
+                let (s1, c1) = regs[a + l].overflowing_sub(regs[b + l]);
+                let (s2, c2) = s1.overflowing_sub(old >> l & 1);
+                regs[d + l] = s2;
+                let bit = 1u32 << l;
+                if c1 | c2 {
+                    cbits |= bit;
+                } else {
+                    cbits &= !bit;
+                }
+            });
+            *carry = cbits;
+        }
+        DOp::MulLo { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = regs[a + l].wrapping_mul(regs[b + l]));
+        }
+        DOp::MulHi { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| {
+                regs[d + l] = ((regs[a + l] as u64 * regs[b + l] as u64) >> 32) as u32;
+            });
+        }
+        DOp::MadLoCC { d, a, b, c: cc } => {
+            let (d, a, b, cc) = (*d as usize, *a as usize, *b as usize, *cc as usize);
+            let mut cbits = *carry;
+            lanes_apply::<FULL>(mask, n, |l| {
+                let prod_lo = (regs[a + l] as u64 * regs[b + l] as u64) as u32;
+                let sum = prod_lo as u64 + regs[cc + l] as u64;
+                regs[d + l] = sum as u32;
+                let bit = 1u32 << l;
+                if sum > u32::MAX as u64 {
+                    cbits |= bit;
+                } else {
+                    cbits &= !bit;
+                }
+            });
+            *carry = cbits;
+        }
+        DOp::MadHiC { d, a, b, c: cc } => {
+            let (d, a, b, cc) = (*d as usize, *a as usize, *b as usize, *cc as usize);
+            let old = *carry;
+            let mut cbits = old;
+            lanes_apply::<FULL>(mask, n, |l| {
+                let hi = ((regs[a + l] as u64 * regs[b + l] as u64) >> 32) as u32;
+                let (s1, c1) = hi.overflowing_add(regs[cc + l]);
+                let (s2, c2) = s1.overflowing_add(old >> l & 1);
+                regs[d + l] = s2;
+                let bit = 1u32 << l;
+                if c1 | c2 {
+                    cbits |= bit;
+                } else {
+                    cbits &= !bit;
+                }
+            });
+            *carry = cbits;
+        }
+        DOp::Div { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| {
+                regs[d + l] = regs[a + l].checked_div(regs[b + l]).unwrap_or(u32::MAX);
+            });
+        }
+        DOp::Rem { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| {
+                let bv = regs[b + l];
+                regs[d + l] = if bv == 0 { regs[a + l] } else { regs[a + l] % bv };
+            });
+        }
+        DOp::Div64 { dlo, dhi, alo, ahi, blo, bhi } => {
+            let (dlo, dhi) = (*dlo as usize, *dhi as usize);
+            let (alo, ahi, blo, bhi) = (*alo as usize, *ahi as usize, *blo as usize, *bhi as usize);
+            lanes_apply::<FULL>(mask, n, |l| {
+                let a64 = regs[alo + l] as u64 | (regs[ahi + l] as u64) << 32;
+                let b64 = regs[blo + l] as u64 | (regs[bhi + l] as u64) << 32;
+                let q = a64.checked_div(b64).unwrap_or(u64::MAX);
+                regs[dlo + l] = q as u32;
+                regs[dhi + l] = (q >> 32) as u32;
+            });
+        }
+        DOp::Rem64 { dlo, dhi, alo, ahi, blo, bhi } => {
+            let (dlo, dhi) = (*dlo as usize, *dhi as usize);
+            let (alo, ahi, blo, bhi) = (*alo as usize, *ahi as usize, *blo as usize, *bhi as usize);
+            lanes_apply::<FULL>(mask, n, |l| {
+                let a64 = regs[alo + l] as u64 | (regs[ahi + l] as u64) << 32;
+                let b64 = regs[blo + l] as u64 | (regs[bhi + l] as u64) << 32;
+                let q = if b64 == 0 { a64 } else { a64 % b64 };
+                regs[dlo + l] = q as u32;
+                regs[dhi + l] = (q >> 32) as u32;
+            });
+        }
+        DOp::Bfind { d, a } => {
+            let (d, a) = (*d as usize, *a as usize);
+            lanes_apply::<FULL>(mask, n, |l| {
+                let v = regs[a + l];
+                regs[d + l] = if v == 0 { u32::MAX } else { 31 - v.leading_zeros() };
+            });
+        }
+        DOp::DivBig { d, dn, a, an, b, bn, rem } => {
+            // Ascending-lane order and the post-loop lockstep probe cost
+            // mirror the tree-walker, so both the error surface and the
+            // f64 cycle accumulation are identical.
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            let (dn, an, bn) = (*dn as usize, *an as usize, *bn as usize);
+            let mut max_probe_cycles = 0.0f64;
+            let mut m = mask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let av: Vec<u32> = (0..an).map(|i| regs[a + i * LANES + l]).collect();
+                let bv: Vec<u32> = (0..bn).map(|i| regs[b + i * LANES + l]).collect();
+                if up_num::limbs::is_zero(&bv) {
+                    return Err(SimError::DivisionByZero { kernel: kernel_name.to_string() });
+                }
+                let la = up_num::limbs::bit_len(&av);
+                let lb = up_num::limbs::bit_len(&bv);
+                let probes = la.saturating_sub(lb) as f64 + 2.0;
+                let mul_cost = 2.0 * (an as f64) * (bn as f64) + 4.0 * an as f64;
+                max_probe_cycles = max_probe_cycles.max(probes * mul_cost);
+                let (q, r) = up_num::div::div_rem(&av, &bv);
+                let out = if *rem { r } else { q };
+                for i in 0..dn {
+                    regs[d + i * LANES + l] = out.get(i).copied().unwrap_or(0);
+                }
+            }
+            stats.warp_issue_cycles += max_probe_cycles;
+        }
+        DOp::Shl { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = regs[a + l] << (regs[b + l] & 31));
+        }
+        DOp::Shr { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = regs[a + l] >> (regs[b + l] & 31));
+        }
+        DOp::And { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = regs[a + l] & regs[b + l]);
+        }
+        DOp::Or { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = regs[a + l] | regs[b + l]);
+        }
+        DOp::Xor { d, a, b } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = regs[a + l] ^ regs[b + l]);
+        }
+        DOp::SetP { p, op, a, b } => {
+            let (a, b) = (*a as usize, *b as usize);
+            let mut bits = 0u32;
+            lanes_apply::<FULL>(mask, n, |l| {
+                if op.eval(regs[a + l], regs[b + l]) {
+                    bits |= 1 << l;
+                }
+            });
+            let p = *p as usize;
+            preds[p] = (preds[p] & !mask) | bits;
+        }
+        DOp::SetPImm { p, op, a, imm } => {
+            let a = *a as usize;
+            let imm = *imm;
+            let mut bits = 0u32;
+            lanes_apply::<FULL>(mask, n, |l| {
+                if op.eval(regs[a + l], imm) {
+                    bits |= 1 << l;
+                }
+            });
+            let p = *p as usize;
+            preds[p] = (preds[p] & !mask) | bits;
+        }
+        DOp::PAnd { p, a, b } => {
+            let computed = preds[*a as usize] & preds[*b as usize];
+            let p = *p as usize;
+            preds[p] = (preds[p] & !mask) | (computed & mask);
+        }
+        DOp::PNot { p, a } => {
+            let computed = !preds[*a as usize];
+            let p = *p as usize;
+            preds[p] = (preds[p] & !mask) | (computed & mask);
+        }
+        DOp::Selp { d, a, b, p } => {
+            let (d, a, b) = (*d as usize, *a as usize, *b as usize);
+            let pbits = preds[*p as usize];
+            lanes_apply::<FULL>(mask, n, |l| {
+                regs[d + l] = if pbits >> l & 1 == 1 { regs[a + l] } else { regs[b + l] };
+            });
+        }
+        DOp::LdGlobal { d, buf, addr } => {
+            let (d, a) = (*d as usize, *addr as usize);
+            if FULL {
+                note_transactions(stats, seen, *buf, &regs[a..a + n], 4);
+                for l in 0..n {
+                    regs[d + l] = mem.load_word(*buf, regs[a + l])?;
+                }
+            } else {
+                let (abuf, cnt) = gather(regs, a, mask, n);
+                note_transactions(stats, seen, *buf, &abuf[..cnt], 4);
+                let mut i = 0;
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    regs[d + l] = mem.load_word(*buf, abuf[i])?;
+                    i += 1;
+                }
+            }
+        }
+        DOp::LdGlobalU8 { d, buf, addr } => {
+            let (d, a) = (*d as usize, *addr as usize);
+            if FULL {
+                note_transactions(stats, seen, *buf, &regs[a..a + n], 1);
+                for l in 0..n {
+                    regs[d + l] = mem.load_byte(*buf, regs[a + l])? as u32;
+                }
+            } else {
+                let (abuf, cnt) = gather(regs, a, mask, n);
+                note_transactions(stats, seen, *buf, &abuf[..cnt], 1);
+                let mut i = 0;
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    regs[d + l] = mem.load_byte(*buf, abuf[i])? as u32;
+                    i += 1;
+                }
+            }
+        }
+        DOp::StGlobal { buf, addr, src } => {
+            let (a, s) = (*addr as usize, *src as usize);
+            if FULL {
+                note_transactions(stats, seen, *buf, &regs[a..a + n], 4);
+                for l in 0..n {
+                    mem.store_word(*buf, regs[a + l], regs[s + l])?;
+                }
+            } else {
+                let (abuf, cnt) = gather(regs, a, mask, n);
+                note_transactions(stats, seen, *buf, &abuf[..cnt], 4);
+                let mut i = 0;
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    mem.store_word(*buf, abuf[i], regs[s + l])?;
+                    i += 1;
+                }
+            }
+        }
+        DOp::StGlobalU8 { buf, addr, src } => {
+            let (a, s) = (*addr as usize, *src as usize);
+            if FULL {
+                note_transactions(stats, seen, *buf, &regs[a..a + n], 1);
+                for l in 0..n {
+                    mem.store_byte(*buf, regs[a + l], regs[s + l] as u8)?;
+                }
+            } else {
+                let (abuf, cnt) = gather(regs, a, mask, n);
+                note_transactions(stats, seen, *buf, &abuf[..cnt], 1);
+                let mut i = 0;
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    mem.store_byte(*buf, abuf[i], regs[s + l] as u8)?;
+                    i += 1;
+                }
+            }
+        }
+        DOp::LdShared { d, addr } => {
+            let (d, a) = (*d as usize, *addr as usize);
+            let mut m = mask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                regs[d + l] = shared_word(smem, regs[a + l])?;
+            }
+        }
+        DOp::StShared { addr, src } => {
+            let (a, s) = (*addr as usize, *src as usize);
+            let mut m = mask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                shared_store(smem, regs[a + l], regs[s + l])?;
+            }
+        }
+        DOp::LdParam { d, idx } => {
+            let v = *params.get(*idx as usize).ok_or(SimError::BadParam(*idx))?;
+            let d = *d as usize;
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = v);
+        }
+        DOp::BarSync => {} // cost only; warps run sequentially
+        DOp::ShflIdx { d, a, lane } => {
+            // Gather before scattering so all reads see pre-shuffle values.
+            let (d, a, lane) = (*d as usize, *a as usize, *lane as usize);
+            let mut vals = [0u32; 32];
+            let mut cnt = 0;
+            lanes_apply::<FULL>(mask, n, |l| {
+                let src_lane = regs[lane + l] as usize % n;
+                vals[cnt] = regs[a + src_lane];
+                cnt += 1;
+            });
+            let mut i = 0;
+            lanes_apply::<FULL>(mask, n, |l| {
+                regs[d + l] = vals[i];
+                i += 1;
+            });
+        }
+        DOp::Ballot { d, p } => {
+            let ballot = preds[*p as usize] & mask;
+            let d = *d as usize;
+            lanes_apply::<FULL>(mask, n, |l| regs[d + l] = ballot);
+        }
+    }
+    Ok(())
+}
+
+/// Collects the active lanes' values of SoA row `row` (ascending lane
+/// order) — the partial-mask analogue of passing the row slice directly.
+#[inline]
+fn gather(regs: &[u32], row: usize, mask: u32, _lanes_n: usize) -> ([u32; 32], usize) {
+    let mut buf = [0u32; 32];
+    let mut cnt = 0;
+    let mut m = mask;
+    while m != 0 {
+        let l = m.trailing_zeros() as usize;
+        m &= m - 1;
+        buf[cnt] = regs[row + l];
+        cnt += 1;
+    }
+    (buf, cnt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::exec::{launch_opts, GlobalMem, LaunchConfig, LaunchOpts};
+    use crate::par::SimParallelism;
+    use crate::ptx::{Inst as I, KernelBuilder, PReg, Reg};
+
+    /// Deterministic 64-bit LCG so fuzz failures reproduce exactly.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u32 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (self.0 >> 33) as u32
+        }
+        fn below(&mut self, n: u32) -> u32 {
+            self.next() % n
+        }
+        fn chance(&mut self, one_in: u32) -> bool {
+            self.below(one_in) == 0
+        }
+    }
+
+    const GRID: LaunchConfig = LaunchConfig { grid_blocks: 4, block_threads: 64 };
+    const N_THREADS: usize = 256;
+
+    /// A random kernel over a fixed shape: three word buffers of
+    /// `N_THREADS` words (two inputs, one output), 256 B of shared memory,
+    /// a register pool seeded from the inputs, and a random sequence of
+    /// gadgets covering ALU ops, carry chains, divergent `If`s, `While`
+    /// loops, shared memory, byte stores, warp ops, and big-int division.
+    /// When `with_errors` is set, one gadget may provoke `OutOfBounds`,
+    /// `MaxIterExceeded`, or `DivisionByZero` on a data-dependent lane.
+    fn random_kernel(rng: &mut Rng, idx: usize, with_errors: bool) -> Kernel {
+        let mut kb = KernelBuilder::new();
+        let tid = kb.reg();
+        let ctaid = kb.reg();
+        let ntid = kb.reg();
+        kb.push(I::MovSpecial { d: tid, s: Special::TidX });
+        kb.push(I::MovSpecial { d: ctaid, s: Special::CtaIdX });
+        kb.push(I::MovSpecial { d: ntid, s: Special::NTidX });
+        let gid = kb.reg();
+        kb.push(I::MulLo { d: gid, a: ctaid, b: ntid });
+        kb.push(I::Add { d: gid, a: gid, b: tid });
+        let four = kb.imm(4);
+        let addr4 = kb.reg();
+        kb.push(I::MulLo { d: addr4, a: gid, b: four });
+        let smem_base = kb.smem(256);
+        assert_eq!(smem_base, 0);
+
+        // Register pool, seeded with input data and thread-varying values.
+        let pool: Vec<Reg> = (0..8).map(|_| kb.reg()).collect();
+        kb.push(I::LdGlobal { d: pool[0], buf: 0, addr: addr4 });
+        kb.push(I::LdGlobal { d: pool[1], buf: 1, addr: addr4 });
+        kb.push(I::Mov { d: pool[2], a: gid });
+        kb.push(I::MovImm { d: pool[3], imm: 0x9e3779b9 });
+        kb.push(I::Mov { d: pool[4], a: tid });
+        kb.push(I::MovImm { d: pool[5], imm: 7 });
+        kb.push(I::Xor { d: pool[6], a: pool[0], b: pool[1] });
+        kb.push(I::MovImm { d: pool[7], imm: 1 });
+        let preds: Vec<PReg> = (0..3).map(|_| kb.pred()).collect();
+        kb.push(I::SetP { p: preds[0], op: CmpOp::Lt, a: pool[0], b: pool[1] });
+        let one = kb.imm(1);
+        let n_gadgets = 8 + rng.below(10);
+        let error_gadget = if with_errors { Some(rng.below(n_gadgets)) } else { None };
+
+        for g in 0..n_gadgets {
+            if error_gadget == Some(g) {
+                match rng.below(3) {
+                    0 => {
+                        // Out-of-bounds word store on one specific thread.
+                        let k = rng.below(N_THREADS as u32 + 32);
+                        let p = preds[rng.below(3) as usize];
+                        kb.push(I::SetPImm { p, op: CmpOp::Eq, a: gid, imm: k });
+                        let bad = kb.imm(1 << 20);
+                        let body = kb.block(|b| b.push(I::StGlobal { buf: 2, addr: bad, src: gid }));
+                        kb.if_(p, body, vec![]);
+                    }
+                    1 => {
+                        // Runaway loop: predicate never clears, max_iter 3.
+                        let p = preds[0];
+                        let cond =
+                            kb.block(|b| b.push(I::SetPImm { p, op: CmpOp::Ge, a: gid, imm: 0 }));
+                        let body = kb.block(|b| {
+                            b.push(I::Add { d: pool[3], a: pool[3], b: one });
+                        });
+                        kb.while_(p, cond, body, 3);
+                    }
+                    _ => {
+                        // Zero divisor on lanes where gid % 4 == 0.
+                        let big = kb.regs(5);
+                        kb.push(I::Mov { d: big[0], a: pool[0] });
+                        kb.push(I::Mov { d: big[1], a: pool[6] });
+                        let three = kb.imm(3);
+                        kb.push(I::And { d: big[2], a: gid, b: three });
+                        kb.push(I::DivBig { d: big[3], dn: 2, a: big[0], an: 2, b: big[2], bn: 1 });
+                    }
+                }
+                continue;
+            }
+            match rng.below(9) {
+                0 => {
+                    // Random ALU op over pool registers.
+                    let d = pool[rng.below(8) as usize];
+                    let a = pool[rng.below(8) as usize];
+                    let b = pool[rng.below(8) as usize];
+                    kb.push(match rng.below(10) {
+                        0 => I::Add { d, a, b },
+                        1 => I::Sub { d, a, b },
+                        2 => I::MulLo { d, a, b },
+                        3 => I::MulHi { d, a, b },
+                        4 => I::And { d, a, b },
+                        5 => I::Or { d, a, b },
+                        6 => I::Xor { d, a, b },
+                        7 => I::Shl { d, a, b },
+                        8 => I::Div { d, a, b },
+                        _ => I::Rem { d, a, b },
+                    });
+                }
+                1 => {
+                    // Carry chain: add-with-carry across two limbs.
+                    let d0 = pool[rng.below(4) as usize];
+                    let d1 = pool[4 + rng.below(4) as usize];
+                    let a = pool[rng.below(8) as usize];
+                    let b = pool[rng.below(8) as usize];
+                    kb.push(I::AddCC { d: d0, a, b });
+                    kb.push(I::AddC { d: d1, a: d1, b });
+                    kb.push(I::MadLoCC { d: d0, a: d0, b, c: a });
+                    kb.push(I::MadHiC { d: d1, a: d0, b, c: d1 });
+                    kb.push(I::SubCC { d: d0, a: d0, b: a });
+                    kb.push(I::SubC { d: d1, a: d1, b: a });
+                }
+                2 => {
+                    // In-bounds word store to the output buffer.
+                    kb.push(I::StGlobal { buf: 2, addr: addr4, src: pool[rng.below(8) as usize] });
+                }
+                3 => {
+                    // Byte load + byte store at a per-thread byte address.
+                    let d = pool[rng.below(8) as usize];
+                    kb.push(I::LdGlobalU8 { d, buf: rng.below(2) as u8, addr: gid });
+                    kb.push(I::StGlobalU8 { buf: 2, addr: gid, src: pool[rng.below(8) as usize] });
+                }
+                4 => {
+                    // Shared memory round trip at (tid & 63) * 4.
+                    let m63 = kb.imm(63);
+                    let saddr = kb.reg();
+                    kb.push(I::And { d: saddr, a: tid, b: m63 });
+                    kb.push(I::MulLo { d: saddr, a: saddr, b: four });
+                    kb.push(I::StShared { addr: saddr, src: pool[rng.below(8) as usize] });
+                    kb.push(I::LdShared { d: pool[rng.below(8) as usize], addr: saddr });
+                }
+                5 => {
+                    // Divergent If with nested work in both arms.
+                    let p = preds[rng.below(3) as usize];
+                    let a = pool[rng.below(8) as usize];
+                    let b = pool[rng.below(8) as usize];
+                    let op = [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][rng.below(4) as usize];
+                    kb.push(I::SetP { p, op, a, b });
+                    let d = pool[rng.below(8) as usize];
+                    let then_ = kb.block(|bb| {
+                        bb.push(I::Add { d, a: d, b: a });
+                        bb.push(I::StGlobal { buf: 2, addr: addr4, src: d });
+                    });
+                    let else_ = if rng.chance(2) {
+                        kb.block(|bb| bb.push(I::Xor { d, a: d, b }))
+                    } else {
+                        vec![]
+                    };
+                    kb.if_(p, then_, else_);
+                }
+                6 => {
+                    // Bounded divergent loop: count down tid & 7.
+                    let m7 = kb.imm(7);
+                    let ctr = kb.reg();
+                    kb.push(I::And { d: ctr, a: tid, b: m7 });
+                    let p = preds[rng.below(3) as usize];
+                    let cond = kb.block(|b| b.push(I::SetPImm { p, op: CmpOp::Ne, a: ctr, imm: 0 }));
+                    let d = pool[rng.below(8) as usize];
+                    let body = kb.block(|b| {
+                        b.push(I::Sub { d: ctr, a: ctr, b: one });
+                        b.push(I::Add { d, a: d, b: ctr });
+                    });
+                    kb.while_(p, cond, body, 16);
+                }
+                7 => {
+                    // Warp ops: ballot and shuffle.
+                    let p = preds[rng.below(3) as usize];
+                    let d = pool[rng.below(8) as usize];
+                    kb.push(I::Ballot { d, p });
+                    let lane = pool[rng.below(8) as usize];
+                    let a = pool[rng.below(8) as usize];
+                    kb.push(I::ShflIdx { d: pool[rng.below(8) as usize], a, lane });
+                }
+                _ => {
+                    // Big-int division with a forced-nonzero divisor.
+                    let big = kb.regs(6);
+                    kb.push(I::Mov { d: big[0], a: pool[rng.below(8) as usize] });
+                    kb.push(I::Mov { d: big[1], a: pool[rng.below(8) as usize] });
+                    kb.push(I::Or { d: big[2], a: pool[rng.below(8) as usize], b: one });
+                    let inst = if rng.chance(2) {
+                        I::DivBig { d: big[3], dn: 2, a: big[0], an: 2, b: big[2], bn: 1 }
+                    } else {
+                        I::RemBig { d: big[3], dn: 1, a: big[0], an: 2, b: big[2], bn: 1 }
+                    };
+                    kb.push(inst);
+                }
+            }
+        }
+        // Make every pool register observable.
+        for (i, &r) in pool.iter().enumerate() {
+            if i % 2 == 0 {
+                kb.push(I::StGlobal { buf: 2, addr: addr4, src: r });
+            }
+        }
+        kb.finish(format!("fuzz_{idx}"), 24)
+    }
+
+    fn fuzz_mem(rng: &mut Rng) -> GlobalMem {
+        let mut mem = GlobalMem::new();
+        for _ in 0..2 {
+            let bytes: Vec<u8> = (0..4 * N_THREADS).map(|_| rng.next() as u8).collect();
+            mem.add_buffer(bytes);
+        }
+        mem.alloc(4 * N_THREADS);
+        mem
+    }
+
+    fn run_mode(
+        kernel: &Kernel,
+        base: &GlobalMem,
+        backend: ExecBackend,
+        par: SimParallelism,
+    ) -> (Result<ExecStats, SimError>, GlobalMem) {
+        let device = DeviceConfig::tiny();
+        let mut mem = base.clone();
+        let res = launch_opts(kernel, GRID, &device, &mut mem, &[N_THREADS as u32], LaunchOpts {
+            par,
+            backend,
+            auto_serial_below: None,
+        });
+        (res, mem)
+    }
+
+    /// The tentpole differential guarantee: for random kernels covering
+    /// divergence, loops, shared memory, byte stores, carry chains, and
+    /// warp ops, the decoded interpreter is bit-identical to the tree
+    /// walker — memory, stats, and errors — under both serial and
+    /// threaded execution.
+    #[test]
+    fn fuzz_decoded_matches_tree_bit_exact() {
+        let mut rng = Rng(0x5eed_cafe_f00d_0001);
+        let mut errors_seen = 0usize;
+        for idx in 0..48 {
+            let with_errors = idx % 7 == 3;
+            let kernel = random_kernel(&mut rng, idx, with_errors);
+            let base = fuzz_mem(&mut rng);
+            let (oracle_res, oracle_mem) =
+                run_mode(&kernel, &base, ExecBackend::Tree, SimParallelism::Serial);
+            if oracle_res.is_err() {
+                errors_seen += 1;
+            }
+            for (backend, par) in [
+                (ExecBackend::Decoded, SimParallelism::Serial),
+                (ExecBackend::Tree, SimParallelism::Threads(4)),
+                (ExecBackend::Decoded, SimParallelism::Threads(4)),
+            ] {
+                let (res, mem) = run_mode(&kernel, &base, backend, par);
+                assert_eq!(
+                    res, oracle_res,
+                    "kernel {idx}: result diverged under {backend}/{par}"
+                );
+                if oracle_res.is_ok() {
+                    for b in 0..3 {
+                        assert_eq!(
+                            mem.buffer(b),
+                            oracle_mem.buffer(b),
+                            "kernel {idx}: buffer {b} diverged under {backend}/{par}"
+                        );
+                    }
+                }
+            }
+        }
+        // The error-injecting kernels must actually exercise error paths.
+        assert!(errors_seen >= 2, "fuzz generated only {errors_seen} failing kernels");
+    }
+
+    /// Error variants surface identically (not just "both failed"): drive
+    /// each injected class explicitly through both backends.
+    #[test]
+    fn fuzz_error_surfaces_match_by_class() {
+        let mut rng = Rng(0xdead_beef_0bad_cafe);
+        let mut classes = std::collections::HashSet::new();
+        for idx in 0..60 {
+            let kernel = random_kernel(&mut rng, 1000 + idx, true);
+            let base = fuzz_mem(&mut rng);
+            let (oracle_res, _) =
+                run_mode(&kernel, &base, ExecBackend::Tree, SimParallelism::Serial);
+            let Err(oracle_err) = oracle_res else { continue };
+            classes.insert(std::mem::discriminant(&oracle_err));
+            for (backend, par) in [
+                (ExecBackend::Decoded, SimParallelism::Serial),
+                (ExecBackend::Decoded, SimParallelism::Threads(4)),
+            ] {
+                let (res, _) = run_mode(&kernel, &base, backend, par);
+                assert_eq!(res, Err(oracle_err.clone()), "kernel {idx} under {backend}/{par}");
+            }
+        }
+        assert!(
+            classes.len() >= 2,
+            "error fuzz hit only {} error classes — generator too tame",
+            classes.len()
+        );
+    }
+
+    #[test]
+    fn backend_knob_parses() {
+        assert_eq!(ExecBackend::parse("tree"), Some(ExecBackend::Tree));
+        assert_eq!(ExecBackend::parse("decoded"), Some(ExecBackend::Decoded));
+        assert_eq!(ExecBackend::parse("auto"), Some(ExecBackend::Auto));
+        assert_eq!(ExecBackend::parse("fast"), None);
+        assert!(ExecBackend::Auto.uses_decoded());
+        assert!(ExecBackend::Decoded.uses_decoded());
+        assert!(!ExecBackend::Tree.uses_decoded());
+        assert_eq!(ExecBackend::Decoded.to_string(), "decoded");
+    }
+
+    #[test]
+    fn decode_flattens_structure_and_counts_superblocks() {
+        let mut kb = KernelBuilder::new();
+        let a = kb.reg();
+        let b = kb.reg();
+        kb.push(I::MovImm { d: a, imm: 1 });
+        kb.push(I::MovImm { d: b, imm: 2 });
+        kb.push(I::Add { d: a, a, b });
+        let p = kb.pred();
+        kb.push(I::SetPImm { p, op: CmpOp::Lt, a, imm: 10 });
+        let then_ = kb.block(|bb| bb.push(I::Add { d: a, a, b }));
+        let else_ = kb.block(|bb| bb.push(I::Sub { d: a, a, b }));
+        kb.if_(p, then_, else_);
+        kb.push(I::Mov { d: b, a });
+        let kernel = kb.finish("structured", 8);
+
+        let prog = kernel.decoded_program();
+        // 4 leading + If(3 markers) + 1 then + 1 else + 1 trailing.
+        assert_eq!(prog.op_count(), 4 + 3 + 1 + 1 + 1);
+        // Straight-line runs: [4 leading], [then], [else], [trailing].
+        assert_eq!(prog.superblock_count(), 4);
+        // Static count matches the tree walk: 4 + If + then + else + 1.
+        assert_eq!(prog.static_inst_count(), 8);
+        assert_eq!(kernel.static_inst_count(), 8);
+    }
+
+    /// Clones made after the program is built share it; repeated access
+    /// is counted as cache hits.
+    #[test]
+    fn decoded_program_is_cached_and_shared_across_clones() {
+        let mut kb = KernelBuilder::new();
+        let r = kb.reg();
+        kb.push(I::MovImm { d: r, imm: 42 });
+        let kernel = kb.finish("cached", 4);
+
+        // Counters are process-global (other tests build programs
+        // concurrently), so assert only monotonic movement plus pointer
+        // identity — ptr_eq alone proves this kernel was not re-decoded.
+        let (builds0, _) = decode_counters();
+        let p1 = Arc::clone(kernel.decoded_program());
+        let (builds1, hits1) = decode_counters();
+        assert!(builds1 > builds0, "first access must build");
+        let p2 = Arc::clone(kernel.decoded_program());
+        let (_, hits2) = decode_counters();
+        assert!(hits2 > hits1, "second access must count as a hit");
+        assert!(Arc::ptr_eq(&p1, &p2));
+
+        let clone = kernel.clone();
+        let p3 = Arc::clone(clone.decoded_program());
+        assert!(Arc::ptr_eq(&p1, &p3), "clones share the built program");
+    }
+}

@@ -12,6 +12,7 @@
 //! launch-DAG executor + modeled overlap timeline ([`pipeline`]).
 
 pub mod cgbn;
+pub mod decoded;
 pub mod disasm;
 pub mod cost;
 pub mod device;
@@ -23,10 +24,11 @@ pub mod ptx;
 pub mod reduce;
 pub mod stream;
 
+pub use decoded::{decode_counters, DecodedProgram, ExecBackend};
 pub use device::DeviceConfig;
 pub use exec::{
-    launch, launch_sampled, launch_sampled_with, launch_with, ExecStats, GlobalMem, LaunchConfig,
-    SimError,
+    launch, launch_opts, launch_sampled, launch_sampled_opts, launch_sampled_with, launch_with,
+    ExecStats, GlobalMem, LaunchConfig, LaunchOpts, SimError,
 };
 pub use par::SimParallelism;
 pub use pipeline::{

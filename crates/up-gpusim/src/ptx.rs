@@ -215,23 +215,25 @@ pub struct Kernel {
     /// — drives the occupancy model. Codegen sets this from the operand
     /// widths (see `up-jit::codegen::estimate_hw_regs`).
     pub hw_regs_per_thread: u32,
+    /// Lazily-built decoded program for the flat interpreter (clones share
+    /// the built program; see [`crate::decoded::DecodedProgram`]).
+    pub(crate) decoded: crate::decoded::DecodedCache,
 }
 
 impl Kernel {
     /// Counts static instructions (loop bodies counted once) — a proxy for
-    /// generated-code size used by the compile-time model.
+    /// generated-code size used by the compile-time model. Memoized on the
+    /// decoded program, so repeated launches and compile-time estimates
+    /// don't re-walk the statement tree.
     pub fn static_inst_count(&self) -> usize {
-        fn count(stmts: &[Stmt]) -> usize {
-            stmts
-                .iter()
-                .map(|s| match s {
-                    Stmt::I(_) => 1,
-                    Stmt::If { then_, else_, .. } => 1 + count(then_) + count(else_),
-                    Stmt::While { cond, body, .. } => 1 + count(cond) + count(body),
-                })
-                .sum()
-        }
-        count(&self.body)
+        self.decoded_program().static_inst_count()
+    }
+
+    /// The kernel's pre-decoded flat program, built on first use and cached
+    /// on the kernel. Clones made after the first build (e.g. kernels held
+    /// in the JIT cache behind `Arc`) share the same program.
+    pub fn decoded_program(&self) -> &std::sync::Arc<crate::decoded::DecodedProgram> {
+        self.decoded.get_or_decode(self)
     }
 }
 
@@ -357,6 +359,7 @@ impl KernelBuilder {
             num_preds: self.next_pred.max(1),
             smem_bytes: self.smem_bytes,
             hw_regs_per_thread,
+            decoded: Default::default(),
         }
     }
 }

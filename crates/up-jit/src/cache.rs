@@ -328,6 +328,10 @@ impl JitEngine {
                 let modeled = if cached {
                     0.0
                 } else {
+                    // `static_inst_count` also builds the kernel's decoded
+                    // program (cached on the kernel), so decode happens
+                    // once here at compile time and every cache hit —
+                    // local or via the shared server cache — reuses it.
                     modeled_compile_time_s(compiled.kernel.static_inst_count())
                 };
                 if !cached && self.emulate_nvcc && modeled > 0.0 {
@@ -430,6 +434,24 @@ mod tests {
         }
         let s = jit.cache_stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn cache_hits_share_the_decoded_program() {
+        // Compiling builds the decoded program (via the compile-time
+        // model's static_inst_count); hits must reuse it rather than
+        // re-decoding per launch.
+        let jit = JitEngine::with_defaults();
+        let e = Expr::col(0, ty(6, 2), "a").mul(Expr::col(1, ty(6, 2), "b"));
+        let (c1, _) = jit.compile(&e);
+        let (c2, _) = jit.compile(&e);
+        let (Compiled::Kernel(k1), Compiled::Kernel(k2)) = (c1, c2) else {
+            panic!("expected kernels");
+        };
+        // Same Arc<CompiledExpr> → same kernel → same decoded program.
+        // (Build/hit counters are process-global, so only pointer
+        // identity is asserted here — counts would race other tests.)
+        assert!(Arc::ptr_eq(k1.kernel.decoded_program(), k2.kernel.decoded_program()));
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub struct ServerConfig {
     /// Concurrent NVCC compile lanes of the arena's prefetch pool
     /// (ignored when [`arena`](ServerConfig::arena) is off).
     pub compile_lanes: usize,
+    /// Functional-interpreter backend for kernels launched by queries
+    /// (tree walker vs. pre-decoded flat programs; results bit-identical
+    /// either way). Defaults from `UP_SIM_EXEC`, otherwise auto.
+    pub exec_backend: up_gpusim::ExecBackend,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +99,7 @@ impl Default for ServerConfig {
             pipeline: PipelineMode::from_env().unwrap_or_default(),
             arena: arena_from_env().unwrap_or(false),
             compile_lanes: 8,
+            exec_backend: up_gpusim::ExecBackend::env_default(),
         }
     }
 }
@@ -331,6 +336,7 @@ impl UpServer {
     fn start(config: ServerConfig, mut db: Database, cache: Arc<SharedKernelCache>) -> UpServer {
         db.sim_par = config.sim_par;
         db.pipeline = config.pipeline;
+        db.exec_backend = config.exec_backend;
         // The arena forks the engine's JIT (shared cache + NVCC-emulation
         // flag carry over) so prefetched compiles land in the same cache
         // the workers hit.

@@ -30,6 +30,10 @@ fn main() {
         up_gpusim::par::auto_threads(),
         ServerConfig::default().workers,
     );
+    println!(
+        "exec backend: {} (UP_SIM_EXEC; decoded programs cached per kernel)",
+        ServerConfig::default().exec_backend,
+    );
 
     // Load a table of wide decimals (write path: serialized, drains
     // readers).
@@ -129,4 +133,9 @@ fn main() {
         stats.max_wait_share * 100.0,
         stats.session_waits.len(),
     );
+
+    // Decoded-program reuse: every distinct kernel is flattened once at
+    // JIT-compile time; launches (and JIT cache hits) share the Arc.
+    let (builds, hits) = up_gpusim::decode_counters();
+    println!("decoded programs: {builds} built, {hits} cache hits");
 }
