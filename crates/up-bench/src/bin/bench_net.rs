@@ -1,0 +1,265 @@
+//! `bench_net` — wire-protocol load harness: 1k+ simulated clients over
+//! loopback TCP against one `WireServer`.
+//!
+//! Four tenants share the server with skewed DRR admission weights and
+//! skewed client populations (a hot/cold mix):
+//!
+//! | tenant   | weight | share of clients |
+//! |----------|--------|------------------|
+//! | hot-a    | 4.0    | 40%              |
+//! | hot-b    | 2.0    | 30%              |
+//! | cold-a   | 1.0    | 20%              |
+//! | cold-b   | 1.0    | 10%              |
+//!
+//! Every client is a real `up_net::Client` on its own thread: connect
+//! (with retry — 1k simultaneous SYNs overflow the default backlog),
+//! authenticate, run its queries, orderly goodbye. The harness reports
+//! per-tenant throughput and latency percentiles (p50/p95/p99) and
+//! writes them to `results/BENCH_net.json`, then asserts that nobody
+//! starved: every client connected, every query resolved (rows, not
+//! errors), and the server's connection cap never refused anyone.
+//!
+//! Usage: `bench_net [--quick] [--clients N] [--tuples N] [--out PATH]`.
+//! Default 1024 clients (64 with `--quick`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use up_bench::HarnessOpts;
+use up_engine::{ColumnType, Schema, Value};
+use up_net::{Client, NetConfig, TenantQuota, TenantRegistry, WireServer};
+use up_num::{DecimalType, UpDecimal};
+use up_server::{ServerConfig, UpServer};
+
+const TENANTS: [(&str, f64, usize); 4] =
+    [("hot-a", 4.0, 40), ("hot-b", 2.0, 30), ("cold-a", 1.0, 20), ("cold-b", 1.0, 10)];
+
+/// Small per-client stack: ~2k threads live at peak (client + server
+/// side), so the default 8 MiB would be wasteful.
+const CLIENT_STACK: usize = 256 * 1024;
+
+fn seeded_server(rows: usize) -> Arc<UpServer> {
+    let t = DecimalType::new_unchecked(12, 2);
+    let up = Arc::new(UpServer::new(ServerConfig {
+        workers: 4,
+        queue_capacity: 4096,
+        arena: true,
+        default_timeout: Duration::from_secs(300),
+        ..ServerConfig::default()
+    }));
+    up.create_table("t", Schema::new(vec![("x", ColumnType::Decimal(t))]));
+    up.insert_many(
+        "t",
+        (0..rows).map(|i| {
+            let s = format!("{}.{:02}", (i * 37) % 900, i % 100);
+            vec![Value::Decimal(UpDecimal::parse(&s, t).unwrap())]
+        }),
+    )
+    .expect("seed rows fit");
+    up
+}
+
+/// The query mix: cheap scans and an aggregate, varied per client so
+/// traffic is not one kernel signature.
+fn query_for(client_ix: usize, rep: usize) -> &'static str {
+    match (client_ix + rep) % 3 {
+        0 => "SELECT SUM(x) FROM t",
+        1 => "SELECT x + x FROM t WHERE x > 450 LIMIT 8",
+        _ => "SELECT SUM(x * x) FROM t",
+    }
+}
+
+fn connect_with_retry(addr: std::net::SocketAddr, tenant: &'static str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match Client::connect(addr, tenant, "bench") {
+            Ok(c) => return c,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "client for {tenant} could not connect within 60 s: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+struct TenantOutcome {
+    name: &'static str,
+    weight: f64,
+    clients: usize,
+    queries: usize,
+    latencies_s: Vec<f64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    sorted[((p * n as f64).ceil() as usize).clamp(1, n) - 1]
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args(512);
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "results/BENCH_net.json".to_string());
+    let total_clients: usize = flag("--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if opts.quick { 64 } else { 1024 });
+    let reps_per_client = if opts.quick { 2 } else { 3 };
+
+    let up = seeded_server(opts.sim_tuples);
+    let tenants = Arc::new(TenantRegistry::new());
+    for (name, weight, _) in TENANTS {
+        tenants.register(name, "bench", TenantQuota { weight, ..TenantQuota::default() });
+    }
+    let server = WireServer::start(
+        Arc::clone(&up),
+        Arc::clone(&tenants),
+        NetConfig {
+            addr: "127.0.0.1:0".into(),
+            max_conns: total_clients + 64,
+            idle_timeout: Duration::from_secs(120),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    println!(
+        "bench_net: {total_clients} clients x {reps_per_client} queries over {addr}, \
+         {} tuples, 4 workers, DRR weights {:?}\n",
+        opts.sim_tuples,
+        TENANTS.map(|(n, w, _)| format!("{n}={w}")),
+    );
+
+    // Partition clients over tenants by the configured shares.
+    let mut assignment: Vec<&'static str> = Vec::with_capacity(total_clients);
+    for (name, _, share) in TENANTS {
+        let n = (total_clients * share) / 100;
+        assignment.extend(std::iter::repeat_n(name, n));
+    }
+    while assignment.len() < total_clients {
+        assignment.push(TENANTS[0].0);
+    }
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = assignment
+        .iter()
+        .enumerate()
+        .map(|(ix, &tenant)| {
+            std::thread::Builder::new()
+                .name(format!("bench-client-{ix}"))
+                .stack_size(CLIENT_STACK)
+                .spawn(move || {
+                    let mut client = connect_with_retry(addr, tenant);
+                    let mut latencies = Vec::with_capacity(reps_per_client);
+                    for rep in 0..reps_per_client {
+                        let q0 = Instant::now();
+                        let rows = client
+                            .query(query_for(ix, rep))
+                            .unwrap_or_else(|e| panic!("client {ix} ({tenant}): {e}"));
+                        assert!(!rows.columns.is_empty(), "client {ix}: empty result shape");
+                        latencies.push(q0.elapsed().as_secs_f64());
+                    }
+                    client.goodbye().unwrap_or_else(|e| panic!("client {ix} goodbye: {e}"));
+                    (tenant, latencies)
+                })
+                .expect("spawn bench client")
+        })
+        .collect();
+
+    let mut outcomes: Vec<TenantOutcome> = TENANTS
+        .iter()
+        .map(|&(name, weight, _)| TenantOutcome {
+            name,
+            weight,
+            clients: 0,
+            queries: 0,
+            latencies_s: Vec::new(),
+        })
+        .collect();
+    for h in handles {
+        let (tenant, lats) = h.join().expect("bench client thread");
+        let o = outcomes.iter_mut().find(|o| o.name == tenant).expect("known tenant");
+        o.clients += 1;
+        o.queries += lats.len();
+        o.latencies_s.extend(lats);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    println!(
+        "{:<8} {:>7} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "tenant", "weight", "clients", "queries", "qps", "p50", "p95", "p99"
+    );
+    let mut tenant_json = Vec::new();
+    let mut total_queries = 0usize;
+    for o in &mut outcomes {
+        o.latencies_s.sort_by(f64::total_cmp);
+        total_queries += o.queries;
+        let qps = o.queries as f64 / wall_s;
+        let (p50, p95, p99) = (
+            percentile(&o.latencies_s, 0.50),
+            percentile(&o.latencies_s, 0.95),
+            percentile(&o.latencies_s, 0.99),
+        );
+        println!(
+            "{:<8} {:>7.1} {:>8} {:>8} {:>10.2} {:>8.3} s {:>8.3} s {:>8.3} s",
+            o.name, o.weight, o.clients, o.queries, qps, p50, p95, p99
+        );
+        tenant_json.push(format!(
+            "{{\"tenant\":\"{}\",\"weight\":{},\"clients\":{},\"queries\":{},\
+             \"qps\":{:.3},\"p50_s\":{:.6},\"p95_s\":{:.6},\"p99_s\":{:.6}}}",
+            o.name, o.weight, o.clients, o.queries, qps, p50, p95, p99
+        ));
+    }
+
+    let wire = server.stats();
+    let m = up.metrics();
+    println!(
+        "\ntotal: {total_queries} queries in {wall_s:.3} s ({:.2} qps), \
+         {} conns accepted, {} refused, {} protocol errors",
+        total_queries as f64 / wall_s,
+        wire.accepted,
+        wire.refused,
+        wire.protocol_errors
+    );
+
+    // The acceptance bar: nobody starved and nothing leaked.
+    assert_eq!(wire.refused, 0, "connection cap must not starve the configured fleet");
+    assert_eq!(wire.protocol_errors, 0, "clean traffic must not trip protocol errors");
+    assert_eq!(
+        total_queries,
+        total_clients * reps_per_client,
+        "every query must resolve with rows"
+    );
+    assert_eq!(m.failed + m.rejected + m.timed_out + m.canceled, 0, "no server-side failures");
+    for (name, ..) in TENANTS {
+        let s = tenants.stats(name).expect("tenant registered");
+        assert_eq!(s.inflight, 0, "{name}: in-flight queries drained");
+        assert_eq!(s.errors, 0, "{name}: no errors");
+    }
+
+    let json = format!(
+        "{{\"bench\":\"net\",\"quick\":{},\"clients\":{total_clients},\
+         \"queries_per_client\":{reps_per_client},\"tuples\":{},\"workers\":4,\
+         \"wall_s\":{wall_s:.6},\"total_qps\":{:.3},\
+         \"conns_accepted\":{},\"conns_refused\":{},\
+         \"tenants\":[{}]}}\n",
+        opts.quick,
+        opts.sim_tuples,
+        total_queries as f64 / wall_s,
+        wire.accepted,
+        wire.refused,
+        tenant_json.join(",")
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_net.json");
+    println!("wrote {out_path}");
+    drop(server); // joins every connection thread before exit
+}

@@ -1,0 +1,174 @@
+//! A small blocking wire client, shared by the tests, the load
+//! harness, and `examples/wire_service.rs`.
+//!
+//! One [`Client`] is one connection (and thus one server session). The
+//! simple path is [`query`](Client::query) — submit and block for the
+//! matching reply. For pipelined use, [`send_query`](Client::send_query)
+//! fires without waiting and [`recv_reply`](Client::recv_reply) pulls
+//! whatever completes next; replies arrive in completion order, keyed
+//! by the correlation id.
+
+use crate::frame::{read_frame, write_frame, Frame, WireError, DEFAULT_MAX_FRAME};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A decoded `Rows` result: column names plus rendered cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rendered cells, one `Vec<String>` per row.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// One reply pulled off the wire in pipelined mode.
+#[derive(Clone, Debug)]
+pub enum Reply {
+    /// A successful result for query `id`.
+    Rows {
+        /// Correlation id the rows answer.
+        id: u64,
+        /// The result.
+        rows: RowSet,
+    },
+    /// A failure for query `id` (0 = connection-level).
+    Error {
+        /// Correlation id, or 0 for connection-level errors.
+        id: u64,
+        /// Stable wire code (decode with [`ErrorCode::from_u16`](crate::ErrorCode::from_u16)).
+        code: u16,
+        /// The server's message.
+        message: String,
+    },
+}
+
+/// A blocking wire-protocol client bound to one authenticated tenant.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame: u32,
+    session: u64,
+}
+
+impl Client {
+    /// Connects, handshakes (`Hello`), and authenticates as `tenant`.
+    /// Fails with [`WireError::Remote`] if the server refuses the
+    /// connection or the credentials.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        token: &str,
+    ) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        // Generous: queries block server-side up to the server's own
+        // deadline, which answers with a Timeout error frame well
+        // before this trips. This only guards against a dead server.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(300)));
+        let mut c = Client { stream, next_id: 1, max_frame: DEFAULT_MAX_FRAME, session: 0 };
+        c.send(&Frame::Hello { max_frame: DEFAULT_MAX_FRAME, max_inflight: u32::MAX })?;
+        match c.recv()? {
+            Frame::Hello { .. } => {}
+            Frame::Error { id, code, message } => {
+                return Err(WireError::Remote { id, code, message })
+            }
+            f => return Err(WireError::Protocol(format!("expected Hello, got {f:?}"))),
+        }
+        c.send(&Frame::Auth { tenant: tenant.into(), token: token.into() })?;
+        match c.recv()? {
+            Frame::AuthOk { session } => {
+                c.session = session;
+                Ok(c)
+            }
+            Frame::Error { id, code, message } => Err(WireError::Remote { id, code, message }),
+            f => Err(WireError::Protocol(format!("expected AuthOk, got {f:?}"))),
+        }
+    }
+
+    /// The server-side session id backing this connection.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    fn send(&mut self, f: &Frame) -> Result<(), WireError> {
+        write_frame(&mut self.stream, f)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, WireError> {
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(f) => Ok(f),
+            None => Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    /// Submits a query without waiting; returns its correlation id.
+    pub fn send_query(&mut self, sql: &str) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Frame::Query { id, sql: sql.into() })?;
+        Ok(id)
+    }
+
+    /// Blocks for the next completed reply (any in-flight id).
+    pub fn recv_reply(&mut self) -> Result<Reply, WireError> {
+        match self.recv()? {
+            Frame::Rows { id, columns, rows } => {
+                Ok(Reply::Rows { id, rows: RowSet { columns, rows } })
+            }
+            Frame::Error { id, code, message } => Ok(Reply::Error { id, code, message }),
+            Frame::Goodbye => Err(WireError::Protocol("server closed with Goodbye".into())),
+            f => Err(WireError::Protocol(format!("unexpected reply frame {f:?}"))),
+        }
+    }
+
+    /// Submit-and-wait: runs `sql`, skipping stale replies to earlier
+    /// pipelined queries, and returns this query's rows.
+    pub fn query(&mut self, sql: &str) -> Result<RowSet, WireError> {
+        let id = self.send_query(sql)?;
+        loop {
+            match self.recv_reply()? {
+                Reply::Rows { id: rid, rows } if rid == id => return Ok(rows),
+                Reply::Error { id: rid, code, message } if rid == id || rid == 0 => {
+                    return Err(WireError::Remote { id: rid, code, message })
+                }
+                _ => continue, // a reply to an earlier pipelined query
+            }
+        }
+    }
+
+    /// Best-effort cancel of an in-flight query by id.
+    pub fn cancel(&mut self, id: u64) -> Result<(), WireError> {
+        self.send(&Frame::Cancel { id })
+    }
+
+    /// Fetches the server's text metrics report (service + tenants +
+    /// wire counters). Replies to in-flight queries that land first are
+    /// discarded — call this on an otherwise-idle connection.
+    pub fn metrics(&mut self) -> Result<String, WireError> {
+        self.send(&Frame::Metrics { report: String::new() })?;
+        loop {
+            match self.recv()? {
+                Frame::Metrics { report } => return Ok(report),
+                Frame::Rows { .. } | Frame::Error { .. } => continue,
+                f => return Err(WireError::Protocol(format!("unexpected frame {f:?}"))),
+            }
+        }
+    }
+
+    /// Orderly close: sends `Goodbye` and waits for the server's.
+    pub fn goodbye(mut self) -> Result<(), WireError> {
+        self.send(&Frame::Goodbye)?;
+        loop {
+            match read_frame(&mut self.stream, self.max_frame) {
+                Ok(Some(Frame::Goodbye)) | Ok(None) => return Ok(()),
+                Ok(Some(_)) => continue, // drain stragglers
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

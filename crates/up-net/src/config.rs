@@ -1,0 +1,183 @@
+//! Wire-server tuning knobs, with `UP_NET_*` environment defaults.
+//!
+//! Same contract as `UP_PIPELINE` / `UP_SIM_THREADS` / `UP_ARENA`: each
+//! variable is read once per process, a valid value overrides the
+//! default, and an invalid value warns once on stderr and behaves like
+//! unset — never a panic, never silently meaning something else.
+
+use crate::frame::DEFAULT_MAX_FRAME;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Wire-server configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Listen address. Defaults from `UP_NET_ADDR` (must look like
+    /// `host:port`), otherwise `127.0.0.1:0` (ephemeral port —
+    /// [`WireServer::addr`](crate::WireServer::addr) reports the bound
+    /// one).
+    pub addr: String,
+    /// Connection cap; excess connections are refused with a
+    /// [`ConnLimit`](crate::ErrorCode::ConnLimit) error frame.
+    /// Defaults from `UP_NET_MAX_CONNS` (≥ 1), otherwise 1024.
+    pub max_conns: usize,
+    /// Idle timeout: a connection with no inbound frames for this long
+    /// is closed (error frame + `Goodbye`) and its session reaped.
+    /// Defaults from `UP_NET_IDLE_S` (seconds, > 0), otherwise 30 s.
+    pub idle_timeout: Duration,
+    /// Largest accepted frame payload in bytes.
+    pub max_frame: u32,
+    /// Most in-flight queries per connection.
+    pub max_inflight: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: addr_from_env().unwrap_or_else(|| "127.0.0.1:0".to_string()),
+            max_conns: max_conns_from_env().unwrap_or(1024),
+            idle_timeout: Duration::from_secs_f64(idle_s_from_env().unwrap_or(30.0)),
+            max_frame: DEFAULT_MAX_FRAME,
+            max_inflight: 8,
+        }
+    }
+}
+
+/// Testable core of the env readers: `raw` is the variable's value
+/// (`None` when unset); invalid values warn and come back `None`.
+pub(crate) fn parse_env_value<T>(
+    name: &str,
+    expected: &str,
+    raw: Option<&str>,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Option<T> {
+    let raw = raw?;
+    let parsed = parse(raw.trim());
+    if parsed.is_none() {
+        eprintln!("warning: ignoring invalid {name}={raw:?} (expected {expected})");
+    }
+    parsed
+}
+
+pub(crate) fn parse_addr(v: &str) -> Option<String> {
+    // A listen address needs a host and a port; full validation happens
+    // at bind time, this just catches obviously-not-an-address values.
+    let (host, port) = v.rsplit_once(':')?;
+    if host.is_empty() || port.parse::<u16>().is_err() {
+        return None;
+    }
+    Some(v.to_string())
+}
+
+pub(crate) fn parse_max_conns(v: &str) -> Option<usize> {
+    v.parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+pub(crate) fn parse_idle_s(v: &str) -> Option<f64> {
+    v.parse::<f64>().ok().filter(|s| s.is_finite() && *s > 0.0)
+}
+
+fn addr_from_env() -> Option<String> {
+    static CACHE: OnceLock<Option<String>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            parse_env_value(
+                "UP_NET_ADDR",
+                "host:port",
+                std::env::var("UP_NET_ADDR").ok().as_deref(),
+                parse_addr,
+            )
+        })
+        .clone()
+}
+
+fn max_conns_from_env() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        parse_env_value(
+            "UP_NET_MAX_CONNS",
+            "a connection count >= 1",
+            std::env::var("UP_NET_MAX_CONNS").ok().as_deref(),
+            parse_max_conns,
+        )
+    })
+}
+
+fn idle_s_from_env() -> Option<f64> {
+    static CACHE: OnceLock<Option<f64>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        parse_env_value(
+            "UP_NET_IDLE_S",
+            "idle seconds > 0",
+            std::env::var("UP_NET_IDLE_S").ok().as_deref(),
+            parse_idle_s,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_parse_valid_values_and_ignore_nonsense() {
+        // UP_NET_ADDR: host:port shapes pass, garbage warns → None.
+        assert_eq!(
+            parse_env_value("UP_NET_ADDR", "host:port", Some("0.0.0.0:5433"), parse_addr),
+            Some("0.0.0.0:5433".to_string())
+        );
+        assert_eq!(
+            parse_env_value("UP_NET_ADDR", "host:port", Some("[::1]:0"), parse_addr),
+            Some("[::1]:0".to_string())
+        );
+        assert_eq!(parse_env_value("UP_NET_ADDR", "host:port", None, parse_addr), None);
+        assert_eq!(
+            parse_env_value("UP_NET_ADDR", "host:port", Some("not-an-addr"), parse_addr),
+            None
+        );
+        assert_eq!(
+            parse_env_value("UP_NET_ADDR", "host:port", Some(":8080"), parse_addr),
+            None,
+            "empty host is rejected"
+        );
+        assert_eq!(
+            parse_env_value("UP_NET_ADDR", "host:port", Some("host:99999"), parse_addr),
+            None,
+            "port must fit u16"
+        );
+
+        // UP_NET_MAX_CONNS: positive integers only.
+        assert_eq!(
+            parse_env_value("UP_NET_MAX_CONNS", "a count", Some("512"), parse_max_conns),
+            Some(512)
+        );
+        assert_eq!(parse_env_value("UP_NET_MAX_CONNS", "a count", Some("0"), parse_max_conns), None);
+        assert_eq!(
+            parse_env_value("UP_NET_MAX_CONNS", "a count", Some("many"), parse_max_conns),
+            None
+        );
+
+        // UP_NET_IDLE_S: positive finite seconds (fractions allowed).
+        assert_eq!(
+            parse_env_value("UP_NET_IDLE_S", "seconds", Some("2.5"), parse_idle_s),
+            Some(2.5)
+        );
+        assert_eq!(
+            parse_env_value("UP_NET_IDLE_S", "seconds", Some(" 30 "), parse_idle_s),
+            Some(30.0),
+            "values are trimmed before parsing"
+        );
+        assert_eq!(parse_env_value("UP_NET_IDLE_S", "seconds", Some("-1"), parse_idle_s), None);
+        assert_eq!(parse_env_value("UP_NET_IDLE_S", "seconds", Some("inf"), parse_idle_s), None);
+    }
+
+    #[test]
+    fn defaults_are_sane_without_env() {
+        let c = NetConfig::default();
+        assert!(c.addr.contains(':'));
+        assert!(c.max_conns >= 1);
+        assert!(c.idle_timeout > Duration::ZERO);
+        assert!(c.max_frame >= 1024);
+        assert!(c.max_inflight >= 1);
+    }
+}

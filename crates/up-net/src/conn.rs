@@ -1,0 +1,520 @@
+//! The connection layer: acceptor + per-connection reader/writer
+//! threads over `std::net`.
+//!
+//! Thread shape (no async runtime — the workspace is offline and
+//! dependency-free by design):
+//!
+//! - one **acceptor** thread on a non-blocking listener, polling a stop
+//!   flag between accepts and enforcing the connection cap;
+//! - per connection, a **reader** thread owning the protocol state
+//!   machine (`Hello → Auth → Ready`) and a **writer** thread draining
+//!   an outbound frame channel, so replies from concurrent queries
+//!   never interleave mid-frame;
+//! - per in-flight query, a small **waiter** thread that blocks on the
+//!   [`QueryTicket`](up_server::QueryTicket) and forwards `Rows` or a
+//!   stable [`ErrorCode`] to the writer. In-flight queries per
+//!   connection are capped ([`NetConfig::max_inflight`]).
+//!
+//! Reads are buffered and length-framed: the reader appends whatever
+//! bytes arrived to an accumulator and peels complete frames off the
+//! front, so a frame split across reads (or a read timeout used to poll
+//! the stop flag and the idle clock) can never desynchronize the
+//! stream. Graceful teardown — client `Goodbye`, idle timeout, or
+//! server shutdown — stops reading, **drains in-flight tickets** (the
+//! waiters run to completion), then closes the server session, which
+//! releases its DRR lane and errors anything still queued.
+
+use crate::config::NetConfig;
+use crate::frame::{parse_frame, write_frame, ErrorCode, Frame};
+use crate::tenant::TenantRegistry;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use up_engine::Profile;
+use up_server::{SessionId, UpServer};
+
+/// Stack for connection/waiter threads — thousands of connections fit
+/// comfortably (the handlers recurse nowhere near default depth).
+const CONN_STACK: usize = 256 * 1024;
+
+/// Reader poll tick: the granularity at which idle/stop are observed.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Wire-layer counters (the connection-level complement of
+/// [`UpServer::metrics`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WireStats {
+    /// Connections accepted (including later-refused ones).
+    pub accepted: u64,
+    /// Connections refused at the connection cap.
+    pub refused: u64,
+    /// Connections open right now.
+    pub active: usize,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: u64,
+    /// Connections dropped for protocol violations (bad frames, wrong
+    /// handshake order, oversized frames).
+    pub protocol_errors: u64,
+}
+
+struct NetInner {
+    up: Arc<UpServer>,
+    tenants: Arc<TenantRegistry>,
+    config: NetConfig,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    idle_closed: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl NetInner {
+    fn stats(&self) -> WireStats {
+        WireStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The TCP front end: owns the listener and every connection thread.
+/// Dropping (or [`shutdown`](WireServer::shutdown)) stops accepting,
+/// tells every connection to finish, and joins all threads.
+pub struct WireServer {
+    inner: Arc<NetInner>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    addr: SocketAddr,
+}
+
+impl WireServer {
+    /// Binds `config.addr` and starts accepting. The `UpServer` is
+    /// shared, not owned — several front ends (or in-process callers)
+    /// may drive one server.
+    pub fn start(
+        up: Arc<UpServer>,
+        tenants: Arc<TenantRegistry>,
+        config: NetConfig,
+    ) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(NetInner {
+            up,
+            tenants,
+            config,
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("up-net-accept".into())
+                .spawn(move || accept_loop(inner, listener, conns))
+                .expect("spawn acceptor")
+        };
+        Ok(WireServer { inner, acceptor: Some(acceptor), conns, addr })
+    }
+
+    /// The bound address (resolves the ephemeral port of `host:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wire-layer counters.
+    pub fn stats(&self) -> WireStats {
+        self.inner.stats()
+    }
+
+    /// The full text report: service metrics, tenant counters, and the
+    /// wire line. This is what a `Metrics` frame answers with.
+    pub fn report(&self) -> String {
+        render_report(&self.inner)
+    }
+
+    /// Stops accepting, asks every connection to finish (in-flight
+    /// queries drain first), and joins all threads. Idempotent; also
+    /// runs on drop.
+    pub fn shutdown(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conn list poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn render_report(inner: &NetInner) -> String {
+    let w = inner.stats();
+    format!(
+        "{}{}== up-net ==\nconns:       {} active / {} accepted, {} refused (cap {}), \
+         {} idle-closed, {} protocol errors\n",
+        inner.up.metrics().report(),
+        inner.tenants.report(),
+        w.active,
+        w.accepted,
+        w.refused,
+        inner.config.max_conns,
+        w.idle_closed,
+        w.protocol_errors,
+    )
+}
+
+fn accept_loop(inner: Arc<NetInner>, listener: TcpListener, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    while !inner.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.accepted.fetch_add(1, Ordering::Relaxed);
+                // Accepted sockets must be blocking regardless of what
+                // the platform says they inherit from the listener.
+                let _ = stream.set_nonblocking(false);
+                if inner.active.load(Ordering::Relaxed) >= inner.config.max_conns {
+                    inner.refused.fetch_add(1, Ordering::Relaxed);
+                    refuse(stream);
+                    continue;
+                }
+                inner.active.fetch_add(1, Ordering::Relaxed);
+                let conn_inner = Arc::clone(&inner);
+                let handle = std::thread::Builder::new()
+                    .name("up-net-conn".into())
+                    .stack_size(CONN_STACK)
+                    .spawn(move || {
+                        conn_main(&conn_inner, stream);
+                        conn_inner.active.fetch_sub(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn connection thread");
+                let mut g = conns.lock().expect("conn list poisoned");
+                g.retain(|h| !h.is_finished());
+                g.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Best-effort refusal at the connection cap: a stable error frame and
+/// an orderly goodbye, bounded so a dead peer can't stall the acceptor.
+fn refuse(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = write_frame(
+        &mut stream,
+        &Frame::Error {
+            id: 0,
+            code: ErrorCode::ConnLimit.as_u16(),
+            message: "server connection cap reached".into(),
+        },
+    );
+    let _ = write_frame(&mut stream, &Frame::Goodbye);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Per-connection protocol state.
+#[derive(PartialEq)]
+enum ConnState {
+    ExpectHello,
+    ExpectAuth,
+    Ready,
+}
+
+/// What a handled frame means for the connection's future.
+enum Flow {
+    Continue,
+    Close,
+}
+
+struct Conn {
+    state: ConnState,
+    session: Option<SessionId>,
+    tenant: Option<String>,
+    /// Cancel handles of in-flight queries, by correlation id.
+    inflight: Arc<Mutex<HashMap<u64, up_server::CancelHandle>>>,
+    inflight_count: Arc<AtomicUsize>,
+    waiters: Vec<JoinHandle<()>>,
+    tx: mpsc::Sender<Frame>,
+}
+
+fn conn_main(inner: &Arc<NetInner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let mut wstream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Frame>();
+    let writer = std::thread::Builder::new()
+        .name("up-net-write".into())
+        .stack_size(CONN_STACK)
+        .spawn(move || {
+            while let Ok(frame) = rx.recv() {
+                let last = matches!(frame, Frame::Goodbye);
+                if write_frame(&mut wstream, &frame).is_err() || last {
+                    break;
+                }
+            }
+            let _ = wstream.shutdown(Shutdown::Write);
+        })
+        .expect("spawn writer thread");
+
+    let mut conn = Conn {
+        state: ConnState::ExpectHello,
+        session: None,
+        tenant: None,
+        inflight: Arc::new(Mutex::new(HashMap::new())),
+        inflight_count: Arc::new(AtomicUsize::new(0)),
+        waiters: Vec::new(),
+        tx,
+    };
+    reader_loop(inner, stream, &mut conn);
+
+    // Graceful drain: every in-flight ticket resolves (Rows or a stable
+    // error) before the session — and with it the DRR lane — goes away.
+    // Goodbye is sent only now, *after* the drain, so the writer (which
+    // stops at Goodbye) never races past undelivered results.
+    for w in conn.waiters.drain(..) {
+        let _ = w.join();
+    }
+    let _ = conn.tx.send(Frame::Goodbye);
+    if let Some(s) = conn.session.take() {
+        inner.up.close_session(s);
+    }
+    drop(conn.tx);
+    let _ = writer.join();
+}
+
+fn reader_loop(inner: &Arc<NetInner>, mut stream: TcpStream, conn: &mut Conn) {
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    'conn: loop {
+        // Peel complete frames off the accumulator.
+        loop {
+            match parse_frame(&acc, inner.config.max_frame) {
+                Ok(None) => break,
+                Ok(Some((consumed, frame))) => {
+                    acc.drain(..consumed);
+                    last_activity = Instant::now();
+                    match handle_frame(inner, conn, frame) {
+                        Flow::Continue => {}
+                        Flow::Close => break 'conn,
+                    }
+                }
+                Err(e) => {
+                    // Framing is no longer trustworthy — answer with the
+                    // stable code and hang up.
+                    inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = conn.tx.send(Frame::Error {
+                        id: 0,
+                        code: e.code.as_u16(),
+                        message: e.message,
+                    });
+                    break 'conn;
+                }
+            }
+        }
+        conn.waiters.retain(|w| !w.is_finished());
+        if inner.stop.load(Ordering::Relaxed) {
+            let _ = conn.tx.send(Frame::Error {
+                id: 0,
+                code: ErrorCode::Shutdown.as_u16(),
+                message: "server shutting down".into(),
+            });
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer closed
+            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_activity.elapsed() >= inner.config.idle_timeout {
+                    inner.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    let _ = conn.tx.send(Frame::Error {
+                        id: 0,
+                        code: ErrorCode::IdleTimeout.as_u16(),
+                        message: format!(
+                            "idle for {:.1} s (limit {:.1} s)",
+                            last_activity.elapsed().as_secs_f64(),
+                            inner.config.idle_timeout.as_secs_f64()
+                        ),
+                    });
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_frame(inner: &Arc<NetInner>, conn: &mut Conn, frame: Frame) -> Flow {
+    match (&conn.state, frame) {
+        (ConnState::ExpectHello, Frame::Hello { .. }) => {
+            let _ = conn.tx.send(Frame::Hello {
+                max_frame: inner.config.max_frame,
+                max_inflight: inner.config.max_inflight,
+            });
+            conn.state = ConnState::ExpectAuth;
+            Flow::Continue
+        }
+        (ConnState::ExpectAuth, Frame::Auth { tenant, token }) => {
+            match inner.tenants.authenticate(&tenant, &token) {
+                Ok(quota) => {
+                    let session = inner.up.connect(Profile::UltraPrecise);
+                    inner.up.set_session_weight(session, quota.weight);
+                    conn.session = Some(session);
+                    conn.tenant = Some(tenant);
+                    conn.state = ConnState::Ready;
+                    let _ = conn.tx.send(Frame::AuthOk { session: session.0 });
+                    Flow::Continue
+                }
+                Err(code) => {
+                    let _ = conn.tx.send(Frame::Error {
+                        id: 0,
+                        code: code.as_u16(),
+                        message: "unknown tenant or bad token".into(),
+                    });
+                    Flow::Close
+                }
+            }
+        }
+        (ConnState::Ready, Frame::Query { id, sql }) => {
+            submit_query(inner, conn, id, sql);
+            Flow::Continue
+        }
+        (ConnState::Ready, Frame::Cancel { id }) => {
+            if let Some(h) = conn.inflight.lock().expect("inflight poisoned").get(&id) {
+                h.cancel();
+            }
+            Flow::Continue
+        }
+        (ConnState::Ready, Frame::Metrics { .. }) => {
+            let _ = conn.tx.send(Frame::Metrics { report: render_report(inner) });
+            Flow::Continue
+        }
+        (_, Frame::Goodbye) => Flow::Close,
+        (_, other) => {
+            inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = conn.tx.send(Frame::Error {
+                id: 0,
+                code: ErrorCode::BadState.as_u16(),
+                message: format!("frame {} is not legal in this state", frame_name(&other)),
+            });
+            Flow::Close
+        }
+    }
+}
+
+fn frame_name(f: &Frame) -> &'static str {
+    match f {
+        Frame::Hello { .. } => "Hello",
+        Frame::Auth { .. } => "Auth",
+        Frame::AuthOk { .. } => "AuthOk",
+        Frame::Query { .. } => "Query",
+        Frame::Cancel { .. } => "Cancel",
+        Frame::Rows { .. } => "Rows",
+        Frame::Error { .. } => "Error",
+        Frame::Metrics { .. } => "Metrics",
+        Frame::Goodbye => "Goodbye",
+    }
+}
+
+fn submit_query(inner: &Arc<NetInner>, conn: &mut Conn, id: u64, sql: String) {
+    let tenant = conn.tenant.clone().expect("Ready implies authenticated");
+    let session = conn.session.expect("Ready implies a session");
+    if conn.inflight_count.load(Ordering::Relaxed) >= inner.config.max_inflight as usize {
+        let _ = conn.tx.send(Frame::Error {
+            id,
+            code: ErrorCode::TooManyInflight.as_u16(),
+            message: format!("connection already has {} queries in flight", inner.config.max_inflight),
+        });
+        return;
+    }
+    if let Err(code) = inner.tenants.try_admit(&tenant) {
+        let _ = conn.tx.send(Frame::Error {
+            id,
+            code: code.as_u16(),
+            message: format!("tenant {tenant} is over quota"),
+        });
+        return;
+    }
+    let t0 = Instant::now();
+    let ticket = match inner.up.submit(session, &sql) {
+        Ok(t) => t,
+        Err(e) => {
+            inner.tenants.on_done(&tenant, false, 0, t0.elapsed().as_secs_f64());
+            let _ = conn.tx.send(Frame::Error {
+                id,
+                code: ErrorCode::from_server_error(&e).as_u16(),
+                message: e.to_string(),
+            });
+            return;
+        }
+    };
+    conn.inflight_count.fetch_add(1, Ordering::Relaxed);
+    conn.inflight.lock().expect("inflight poisoned").insert(id, ticket.cancel_handle());
+    let tx = conn.tx.clone();
+    let tenants = Arc::clone(&inner.tenants);
+    let inflight = Arc::clone(&conn.inflight);
+    let inflight_count = Arc::clone(&conn.inflight_count);
+    let waiter = std::thread::Builder::new()
+        .name("up-net-wait".into())
+        .stack_size(CONN_STACK)
+        .spawn(move || {
+            let result = ticket.wait();
+            inflight.lock().expect("inflight poisoned").remove(&id);
+            inflight_count.fetch_sub(1, Ordering::Relaxed);
+            let latency_s = t0.elapsed().as_secs_f64();
+            match result {
+                Ok(r) => {
+                    let rows: Vec<Vec<String>> = r
+                        .rows
+                        .iter()
+                        .map(|row| row.iter().map(|v| v.render()).collect())
+                        .collect();
+                    let bytes: u64 =
+                        rows.iter().flatten().map(|cell| cell.len() as u64).sum();
+                    tenants.on_done(&tenant, true, bytes, latency_s);
+                    let _ = tx.send(Frame::Rows { id, columns: r.columns, rows });
+                }
+                Err(e) => {
+                    tenants.on_done(&tenant, false, 0, latency_s);
+                    let _ = tx.send(Frame::Error {
+                        id,
+                        code: ErrorCode::from_server_error(&e).as_u16(),
+                        message: e.to_string(),
+                    });
+                }
+            }
+        })
+        .expect("spawn waiter thread");
+    conn.waiters.push(waiter);
+}

@@ -1,0 +1,339 @@
+//! The tenant layer: authenticated identities with quotas.
+//!
+//! A *tenant* is the billing/fairness unit — many connections (and thus
+//! many `up-server` sessions) can authenticate as one tenant. The
+//! registry enforces, per tenant:
+//!
+//! - a **token-bucket rate limit** (sustained QPS plus a burst
+//!   allowance) — exceeding it is [`ErrorCode::RateLimited`];
+//! - a **max-concurrent-queries** cap — [`ErrorCode::TenantConcurrency`];
+//! - a cumulative **result-byte budget** — once a tenant has been sent
+//!   that many rendered result bytes, further queries are
+//!   [`ErrorCode::ByteBudgetExceeded`];
+//! - an **admission weight**, forwarded to
+//!   [`UpServer::set_session_weight`](up_server::UpServer::set_session_weight)
+//!   at auth so the server's deficit-round-robin dequeue actually runs
+//!   per tenant.
+//!
+//! Counters (admitted/rejected/throttled, latency, bytes out) are kept
+//! per tenant and rendered by [`TenantRegistry::report`], which the
+//! wire layer appends to the server metrics report.
+
+use crate::frame::ErrorCode;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+use up_server::{LatencyHistogram, LatencySummary};
+
+/// Per-tenant quota knobs. The default is fully open: no rate limit, no
+/// concurrency cap, no byte budget, weight 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantQuota {
+    /// Sustained queries per second the token bucket refills at;
+    /// `<= 0` disables rate limiting.
+    pub qps: f64,
+    /// Bucket capacity — how many queries may land back-to-back before
+    /// the sustained rate applies (clamped to ≥ 1 when `qps` is on).
+    pub burst: f64,
+    /// Most queries the tenant may have in flight at once, across all
+    /// of its connections; `0` disables the cap.
+    pub max_concurrent: usize,
+    /// Cumulative rendered result bytes the tenant may be sent; `0`
+    /// disables the budget.
+    pub result_byte_budget: u64,
+    /// Admission weight for the server's per-session DRR scheduling.
+    pub weight: f64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            qps: 0.0,
+            burst: 16.0,
+            max_concurrent: 0,
+            result_byte_budget: 0,
+            weight: 1.0,
+        }
+    }
+}
+
+/// Point-in-time view of one tenant's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TenantStats {
+    /// Queries admitted past the quota checks.
+    pub admitted: u64,
+    /// Queries rejected by concurrency cap or byte budget.
+    pub rejected: u64,
+    /// Queries bounced by the rate limiter.
+    pub throttled: u64,
+    /// Admitted queries that produced a result (ok or error).
+    pub completed: u64,
+    /// Of those, how many errored.
+    pub errors: u64,
+    /// Rendered result bytes sent to the tenant.
+    pub bytes_out: u64,
+    /// Queries in flight right now.
+    pub inflight: usize,
+    /// End-to-end latency (admit → reply) of completed queries.
+    pub latency: LatencySummary,
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+struct TenantState {
+    token: String,
+    quota: TenantQuota,
+    bucket: Bucket,
+    inflight: usize,
+    admitted: u64,
+    rejected: u64,
+    throttled: u64,
+    completed: u64,
+    errors: u64,
+    bytes_out: u64,
+    latency: LatencyHistogram,
+}
+
+impl TenantState {
+    fn stats(&self) -> TenantStats {
+        TenantStats {
+            admitted: self.admitted,
+            rejected: self.rejected,
+            throttled: self.throttled,
+            completed: self.completed,
+            errors: self.errors,
+            bytes_out: self.bytes_out,
+            inflight: self.inflight,
+            latency: self.latency.summary(),
+        }
+    }
+}
+
+/// Maps tenant names to credentials, quotas, and live counters. All
+/// methods take `&self` (one mutex; tenant counts are small next to
+/// query traffic).
+#[derive(Default)]
+pub struct TenantRegistry {
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+impl TenantRegistry {
+    /// New empty registry.
+    pub fn new() -> TenantRegistry {
+        TenantRegistry::default()
+    }
+
+    /// Registers (or replaces) a tenant with its auth token and quota.
+    pub fn register(&self, name: &str, token: &str, quota: TenantQuota) {
+        self.tenants.lock().expect("tenant map poisoned").insert(
+            name.to_string(),
+            TenantState {
+                token: token.to_string(),
+                quota,
+                bucket: Bucket { tokens: quota.burst.max(1.0), last: Instant::now() },
+                inflight: 0,
+                admitted: 0,
+                rejected: 0,
+                throttled: 0,
+                completed: 0,
+                errors: 0,
+                bytes_out: 0,
+                latency: LatencyHistogram::new(),
+            },
+        );
+    }
+
+    /// Checks credentials; the quota comes back so the wire layer can
+    /// forward the tenant's weight to the server session.
+    pub fn authenticate(&self, name: &str, token: &str) -> Result<TenantQuota, ErrorCode> {
+        let g = self.tenants.lock().expect("tenant map poisoned");
+        match g.get(name) {
+            Some(t) if t.token == token => Ok(t.quota),
+            _ => Err(ErrorCode::Unauthorized),
+        }
+    }
+
+    /// Runs the quota gauntlet for one query: rate limit, then
+    /// concurrency cap, then byte budget. On `Ok` the query counts as
+    /// in-flight until [`on_done`](TenantRegistry::on_done).
+    pub fn try_admit(&self, name: &str) -> Result<(), ErrorCode> {
+        self.try_admit_at(name, Instant::now())
+    }
+
+    /// [`try_admit`](TenantRegistry::try_admit) with an explicit clock,
+    /// so token-bucket behavior is testable without sleeping.
+    pub fn try_admit_at(&self, name: &str, now: Instant) -> Result<(), ErrorCode> {
+        let mut g = self.tenants.lock().expect("tenant map poisoned");
+        let t = g.get_mut(name).ok_or(ErrorCode::Unauthorized)?;
+        if t.quota.qps > 0.0 {
+            let cap = t.quota.burst.max(1.0);
+            let elapsed = now.duration_since(t.bucket.last).as_secs_f64();
+            t.bucket.tokens = (t.bucket.tokens + elapsed * t.quota.qps).min(cap);
+            t.bucket.last = now;
+            if t.bucket.tokens < 1.0 {
+                t.throttled += 1;
+                return Err(ErrorCode::RateLimited);
+            }
+            t.bucket.tokens -= 1.0;
+        }
+        if t.quota.max_concurrent > 0 && t.inflight >= t.quota.max_concurrent {
+            t.rejected += 1;
+            return Err(ErrorCode::TenantConcurrency);
+        }
+        if t.quota.result_byte_budget > 0 && t.bytes_out >= t.quota.result_byte_budget {
+            t.rejected += 1;
+            return Err(ErrorCode::ByteBudgetExceeded);
+        }
+        t.inflight += 1;
+        t.admitted += 1;
+        Ok(())
+    }
+
+    /// Closes out one admitted query: releases its in-flight slot and
+    /// records outcome, result bytes, and end-to-end latency.
+    pub fn on_done(&self, name: &str, ok: bool, bytes_out: u64, latency_s: f64) {
+        let mut g = self.tenants.lock().expect("tenant map poisoned");
+        if let Some(t) = g.get_mut(name) {
+            t.inflight = t.inflight.saturating_sub(1);
+            t.completed += 1;
+            if !ok {
+                t.errors += 1;
+            }
+            t.bytes_out += bytes_out;
+            t.latency.record(latency_s);
+        }
+    }
+
+    /// One tenant's counters.
+    pub fn stats(&self, name: &str) -> Option<TenantStats> {
+        self.tenants.lock().expect("tenant map poisoned").get(name).map(|t| t.stats())
+    }
+
+    /// Every tenant's counters, sorted by name.
+    pub fn all_stats(&self) -> Vec<(String, TenantStats)> {
+        let g = self.tenants.lock().expect("tenant map poisoned");
+        let mut all: Vec<(String, TenantStats)> =
+            g.iter().map(|(n, t)| (n.clone(), t.stats())).collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Text lines for the metrics report, one per tenant.
+    pub fn report(&self) -> String {
+        use core::fmt::Write as _;
+        let mut o = String::new();
+        let _ = writeln!(o, "== tenants ==");
+        for (name, s) in self.all_stats() {
+            let _ = writeln!(
+                o,
+                "{name}: {} admitted ({} in flight), {} rejected, {} throttled, \
+                 {} completed ({} errors), {} bytes out, p50 {:.3} ms / p95 {:.3} ms",
+                s.admitted,
+                s.inflight,
+                s.rejected,
+                s.throttled,
+                s.completed,
+                s.errors,
+                s.bytes_out,
+                s.latency.p50_s * 1e3,
+                s.latency.p95_s * 1e3,
+            );
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn auth_checks_name_and_token() {
+        let r = TenantRegistry::new();
+        r.register("acme", "s3cret", TenantQuota { weight: 2.0, ..TenantQuota::default() });
+        assert_eq!(r.authenticate("acme", "s3cret").unwrap().weight, 2.0);
+        assert_eq!(r.authenticate("acme", "wrong"), Err(ErrorCode::Unauthorized));
+        assert_eq!(r.authenticate("ghost", "s3cret"), Err(ErrorCode::Unauthorized));
+        assert_eq!(r.try_admit("ghost"), Err(ErrorCode::Unauthorized));
+    }
+
+    #[test]
+    fn token_bucket_throttles_at_sustained_rate_with_burst() {
+        let r = TenantRegistry::new();
+        r.register(
+            "t",
+            "k",
+            TenantQuota { qps: 10.0, burst: 3.0, ..TenantQuota::default() },
+        );
+        let t0 = Instant::now();
+        // The burst allowance admits 3 back-to-back...
+        for _ in 0..3 {
+            r.try_admit_at("t", t0).unwrap();
+        }
+        // ...then the 4th at the same instant is throttled.
+        assert_eq!(r.try_admit_at("t", t0), Err(ErrorCode::RateLimited));
+        // 100 ms later one token (10 QPS) has refilled.
+        let t1 = t0 + Duration::from_millis(100);
+        r.try_admit_at("t", t1).unwrap();
+        assert_eq!(r.try_admit_at("t", t1), Err(ErrorCode::RateLimited));
+        let s = r.stats("t").unwrap();
+        assert_eq!(s.admitted, 4);
+        assert_eq!(s.throttled, 2);
+        // Refill never exceeds the burst capacity.
+        let t2 = t1 + Duration::from_secs(3600);
+        for _ in 0..3 {
+            r.try_admit_at("t", t2).unwrap();
+        }
+        assert_eq!(r.try_admit_at("t", t2), Err(ErrorCode::RateLimited));
+    }
+
+    #[test]
+    fn concurrency_cap_frees_on_done() {
+        let r = TenantRegistry::new();
+        r.register("t", "k", TenantQuota { max_concurrent: 2, ..TenantQuota::default() });
+        r.try_admit("t").unwrap();
+        r.try_admit("t").unwrap();
+        assert_eq!(r.try_admit("t"), Err(ErrorCode::TenantConcurrency));
+        r.on_done("t", true, 128, 0.002);
+        r.try_admit("t").unwrap();
+        let s = r.stats("t").unwrap();
+        assert_eq!(s.inflight, 2);
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.bytes_out, 128);
+        assert_eq!(s.latency.count, 1);
+    }
+
+    #[test]
+    fn byte_budget_cuts_off_cumulative_output() {
+        let r = TenantRegistry::new();
+        r.register("t", "k", TenantQuota { result_byte_budget: 100, ..TenantQuota::default() });
+        r.try_admit("t").unwrap();
+        r.on_done("t", true, 60, 0.001);
+        r.try_admit("t").unwrap();
+        r.on_done("t", true, 60, 0.001);
+        // 120 bytes out ≥ 100 budget → spent.
+        assert_eq!(r.try_admit("t"), Err(ErrorCode::ByteBudgetExceeded));
+        let s = r.stats("t").unwrap();
+        assert_eq!(s.bytes_out, 120);
+        assert_eq!(s.rejected, 1);
+    }
+
+    #[test]
+    fn report_renders_every_tenant_sorted() {
+        let r = TenantRegistry::new();
+        r.register("beta", "k", TenantQuota::default());
+        r.register("alpha", "k", TenantQuota::default());
+        r.try_admit("alpha").unwrap();
+        r.on_done("alpha", false, 10, 0.001);
+        let text = r.report();
+        let a = text.find("alpha:").unwrap();
+        let b = text.find("beta:").unwrap();
+        assert!(a < b, "sorted by name:\n{text}");
+        assert!(text.contains("1 completed (1 errors)"), "{text}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the frame codec: arbitrary frames round-trip
+//! exactly, and hostile byte streams (truncations, garbage, oversized
+//! lengths, wrong versions) always produce protocol errors — never a
+//! panic, a hang, or a silently wrong frame.
+
+use proptest::prelude::*;
+use up_net::{
+    parse_frame, read_frame, ErrorCode, Frame, WireError, DEFAULT_MAX_FRAME, WIRE_VERSION,
+};
+
+/// Character palette for generated strings: ASCII, spaces, quotes, and
+/// multi-byte UTF-8 (2-, 3-byte sequences).
+const PALETTE: [char; 16] =
+    ['a', 'Z', '0', ' ', '"', '\\', '\n', ';', '(', '%', 'µ', 'λ', '→', 'Ω', '中', '\t'];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..PALETTE.len(), 0..40)
+        .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+/// Rectangular `Rows` payloads: `ncols` (1–4) picks how much of the
+/// pre-generated width-4 material each row keeps.
+fn arb_rows() -> impl Strategy<Value = Frame> {
+    (
+        any::<u64>(),
+        1usize..5,
+        prop::collection::vec(arb_string(), 4),
+        prop::collection::vec(prop::collection::vec(arb_string(), 4), 0..6),
+    )
+        .prop_map(|(id, ncols, columns, rows)| Frame::Rows {
+            id,
+            columns: columns.into_iter().take(ncols).collect(),
+            rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().take(ncols).collect())
+                .collect(),
+        })
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(max_frame, max_inflight)| Frame::Hello { max_frame, max_inflight }),
+        (arb_string(), arb_string()).prop_map(|(tenant, token)| Frame::Auth { tenant, token }),
+        any::<u64>().prop_map(|session| Frame::AuthOk { session }),
+        (any::<u64>(), arb_string()).prop_map(|(id, sql)| Frame::Query { id, sql }),
+        any::<u64>().prop_map(|id| Frame::Cancel { id }),
+        arb_rows(),
+        (any::<u64>(), any::<u16>(), arb_string())
+            .prop_map(|(id, code, message)| Frame::Error { id, code, message }),
+        arb_string().prop_map(|report| Frame::Metrics { report }),
+        (0u8..1).prop_map(|_| Frame::Goodbye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_frames_roundtrip_exactly(frame in arb_frame()) {
+        let bytes = frame.to_bytes();
+        let (consumed, decoded) = parse_frame(&bytes, DEFAULT_MAX_FRAME)
+            .expect("own encoding must decode")
+            .expect("a complete frame must parse");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn concatenated_frames_parse_in_order(frames in prop::collection::vec(arb_frame(), 1..6)) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode(&mut stream);
+        }
+        // Buffered path: peel frames off the front one at a time.
+        let mut rest = stream.as_slice();
+        for expected in &frames {
+            let (consumed, got) = parse_frame(rest, DEFAULT_MAX_FRAME).unwrap().unwrap();
+            prop_assert_eq!(&got, expected);
+            rest = &rest[consumed..];
+        }
+        prop_assert!(rest.is_empty());
+        // Blocking path over the same bytes.
+        let mut cursor = std::io::Cursor::new(stream);
+        for expected in &frames {
+            let got = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap();
+            prop_assert_eq!(&got, expected);
+        }
+        prop_assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn truncations_never_parse_as_a_frame(frame in arb_frame(), keep in 0usize..100) {
+        let bytes = frame.to_bytes();
+        let cut = (bytes.len() - 1) * keep / 100;
+        // A strict prefix either asks for more bytes or (if the cut
+        // landed inside the 4-byte length prefix and the partial length
+        // happens to decode small) errors — it never yields a frame.
+        match parse_frame(&bytes[..cut], DEFAULT_MAX_FRAME) {
+            Ok(None) | Err(_) => {}
+            Ok(Some(_)) => prop_assert!(false, "a {}-byte prefix of {} parsed", cut, bytes.len()),
+        }
+        // The blocking reader sees EOF mid-frame as an error, not a hang.
+        if cut > 0 {
+            let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+            prop_assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_streams_error_instead_of_panicking(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever the bytes, the parser terminates with a ruling.
+        match parse_frame(&bytes, DEFAULT_MAX_FRAME) {
+            Ok(None) | Ok(Some(_)) | Err(_) => {}
+        }
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME) {
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_error_with_stable_codes(
+        frame in arb_frame(), pos in any::<usize>(), mask in any::<u8>(),
+    ) {
+        // Flip payload bits (never the length prefix): decode either
+        // still succeeds (the bits were in free text) or errors cleanly.
+        let mut bytes = frame.to_bytes();
+        if bytes.len() > 4 {
+            let pos = 4 + pos % (bytes.len() - 4);
+            bytes[pos] ^= mask | 1;
+            match parse_frame(&bytes, DEFAULT_MAX_FRAME) {
+                Ok(_) => {}
+                Err(e) => prop_assert!(
+                    matches!(e.code, ErrorCode::BadFrame | ErrorCode::BadVersion),
+                    "unexpected code {:?}",
+                    e.code
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_versions_are_rejected(frame in arb_frame(), version in any::<u8>()) {
+        prop_assume!(version != WIRE_VERSION);
+        let mut bytes = frame.to_bytes();
+        bytes[4] = version; // the version byte sits right after the length
+        let err = parse_frame(&bytes, DEFAULT_MAX_FRAME).unwrap_err();
+        prop_assert_eq!(err.code, ErrorCode::BadVersion);
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_allocation(len in (1u32 << 10)..u32::MAX) {
+        // Advertise a huge payload with no bytes behind it: the limit
+        // fires on the prefix alone.
+        let limit = 1 << 10;
+        let mut bytes = len.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[WIRE_VERSION, 9]); // a touch of payload
+        let err = parse_frame(&bytes, limit).unwrap_err();
+        prop_assert_eq!(err.code, ErrorCode::FrameTooLarge);
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor, limit) {
+            Err(WireError::Decode(e)) => prop_assert_eq!(e.code, ErrorCode::FrameTooLarge),
+            other => prop_assert!(false, "expected FrameTooLarge, got {:?}", other.map(|_| ())),
+        }
+    }
+}

@@ -108,6 +108,24 @@ impl<T> BoundedQueue<T> {
         self.inner.lock().expect("queue poisoned").closed = true;
         self.ready.notify_all();
     }
+
+    /// Removes and returns every queued item matching `pred` (submission
+    /// order preserved) — the session-teardown path, so a closed
+    /// session's pending jobs can be errored instead of executed.
+    pub fn drain_matching(&self, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        let mut kept = VecDeque::with_capacity(g.items.len());
+        let mut drained = Vec::new();
+        for item in g.items.drain(..) {
+            if pred(&item) {
+                drained.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        g.items = kept;
+        drained
+    }
 }
 
 struct DrrInner<T> {
@@ -225,6 +243,26 @@ impl<T> DrrQueue<T> {
         self.inner.lock().expect("queue poisoned").closed = true;
         self.ready.notify_all();
     }
+
+    /// Tears down a session's lane: returns its queued items (submission
+    /// order) and forgets the lane's round-robin state entirely, so
+    /// disconnected sessions stop costing the DRR cursor anything.
+    pub fn remove_session(&self, session: u64) -> Vec<T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        let drained: Vec<T> = g
+            .lanes
+            .remove(&session)
+            .map(|lane| lane.into_iter().collect())
+            .unwrap_or_default();
+        g.drr.remove(session);
+        g.len -= drained.len();
+        drained
+    }
+
+    /// Lanes currently tracked (connected sessions that ever queued).
+    pub fn lanes(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").lanes.len()
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +347,30 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![10, 20]);
         assert_eq!(q.pop_blocking(), None);
+    }
+
+    #[test]
+    fn drain_and_remove_release_queued_work_and_lanes() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        let evens = q.drain_matching(|v| v % 2 == 0);
+        assert_eq!(evens, vec![0, 2, 4]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_blocking(), Some(1), "survivors keep FIFO order");
+
+        let d: DrrQueue<(u64, i32)> = DrrQueue::new(16);
+        d.push(1, (1, 0)).unwrap();
+        d.push(1, (1, 1)).unwrap();
+        d.push(2, (2, 0)).unwrap();
+        assert_eq!(d.lanes(), 2);
+        let gone = d.remove_session(1);
+        assert_eq!(gone, vec![(1, 0), (1, 1)], "lane drains in submission order");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.lanes(), 1, "lane state is forgotten, not just emptied");
+        assert!(d.remove_session(999).is_empty(), "unknown session is a no-op");
+        assert_eq!(d.pop_blocking(), Some((2, 0)));
     }
 
     #[test]

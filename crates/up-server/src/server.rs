@@ -238,6 +238,15 @@ impl Dispatch {
             q.set_weight(session, weight);
         }
     }
+
+    /// Pulls a closed session's still-queued jobs out of the queue (and,
+    /// under DRR, releases its lane and round-robin state).
+    fn remove_session(&self, session: u64) -> Vec<Job> {
+        match self {
+            Dispatch::Fifo(q) => q.drain_matching(|job| job.session.0 == session),
+            Dispatch::Drr(q) => q.remove_session(session),
+        }
+    }
 }
 
 struct ServerInner {
@@ -300,11 +309,30 @@ impl QueryTicket {
         self.cancel.store(true, Ordering::Relaxed);
     }
 
+    /// A detachable cancel handle, for callers (e.g. a wire front end)
+    /// that move the ticket into a waiter thread but still need to
+    /// honor an out-of-band cancel request.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle(Arc::clone(&self.cancel))
+    }
+
     /// The query's arena admission sequence — the order it registered
     /// its kernels, which is also serial-replay order for determinism
     /// checks. Always 0 when the arena is off.
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+}
+
+/// Cancels a pending query from outside the ticket (clone-free handle
+/// over the job's shared cancel flag).
+#[derive(Clone, Debug)]
+pub struct CancelHandle(Arc<AtomicBool>);
+
+impl CancelHandle {
+    /// Flags the job canceled (same semantics as [`QueryTicket::cancel`]).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
     }
 }
 
@@ -377,8 +405,42 @@ impl UpServer {
     }
 
     /// Closes a session; returns its final stats, or `None` if unknown.
+    /// Alias of [`close_session`](UpServer::close_session).
     pub fn disconnect(&self, id: SessionId) -> Option<SessionStats> {
-        self.inner.sessions.disconnect(id)
+        self.close_session(id)
+    }
+
+    /// Closes a session and releases everything it holds: its entry in
+    /// the session map, its DRR lane (arena mode), and every job it
+    /// still has queued — each pending ticket observes a clean
+    /// [`ServerError::UnknownSession`] instead of executing or hanging.
+    /// Returns the session's final stats, or `None` if unknown.
+    pub fn close_session(&self, id: SessionId) -> Option<SessionStats> {
+        let stats = self.inner.sessions.disconnect(id)?;
+        for job in self.inner.queue.remove_session(id.0) {
+            // The job left the queue without a worker: keep the depth
+            // gauge honest and release its prefetched compile entries.
+            self.inner.metrics.on_dequeued();
+            self.inner.metrics.on_canceled();
+            if let Some(arena) = &self.inner.arena {
+                arena.on_query_done(job.seq);
+            }
+            let _ = job.reply.send(Err(ServerError::UnknownSession(id)));
+        }
+        Some(stats)
+    }
+
+    /// Reaps every session idle (no submit or completed query) for at
+    /// least `max_idle`, via [`close_session`](UpServer::close_session).
+    /// Returns the sessions evicted. A wire front end calls this
+    /// periodically so abandoned connections release session state and
+    /// DRR lanes.
+    pub fn reap_idle_sessions(&self, max_idle: Duration) -> Vec<SessionId> {
+        let idle = self.inner.sessions.idle_sessions(max_idle);
+        idle.iter().for_each(|&id| {
+            self.close_session(id);
+        });
+        idle
     }
 
     /// A session's usage counters so far.
@@ -560,6 +622,18 @@ fn worker_loop(inner: Arc<ServerInner>) {
             let _ = job.reply.send(Err(ServerError::Canceled));
             continue;
         }
+        // The session may have been closed between submit and dequeue
+        // (close_session drains the queue, but a job already in a
+        // worker's hands races past that) — error it instead of running
+        // work nobody is accounted for.
+        if !inner.sessions.contains(job.session) {
+            inner.metrics.on_canceled();
+            if let Some(arena) = &inner.arena {
+                arena.on_query_done(job.seq);
+            }
+            let _ = job.reply.send(Err(ServerError::UnknownSession(job.session)));
+            continue;
+        }
         // Kernel arrival on the simulated device = when the query entered
         // the server, on the server's wall-clock timeline.
         let arrival_s = job.enqueued.duration_since(inner.started).as_secs_f64();
@@ -733,6 +807,77 @@ mod tests {
         // shutting down with a late-started pool instead: simplest is to
         // assert the flag made it into the queue — the concurrency
         // integration tests cover the worker-side path.
+        assert!(ticket.cancel.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn closed_sessions_error_pending_tickets_cleanly() {
+        // No workers: submitted jobs sit in the queue until close_session
+        // drains them — the tickets must observe an immediate, clean
+        // error rather than timing out.
+        let server = seeded_server(ServerConfig { workers: 0, ..ServerConfig::default() });
+        let s = server.connect(Profile::UltraPrecise);
+        let t1 = server.submit(s, "SELECT x FROM t").unwrap();
+        let t2 = server.submit(s, "SELECT x FROM t").unwrap();
+        let stats = server.close_session(s).expect("session was connected");
+        assert_eq!(stats.queries, 0, "nothing executed");
+        for t in [t1, t2] {
+            let err = t.wait_timeout(Duration::from_millis(200)).unwrap_err();
+            assert!(matches!(err, ServerError::UnknownSession(_)), "{err}");
+        }
+        let m = server.metrics();
+        assert_eq!(m.queue_depth, 0, "drained jobs leave the depth gauge");
+        assert_eq!(m.canceled, 2);
+        assert!(server.close_session(s).is_none(), "double close is None");
+        // New submissions for the dead session are rejected up front.
+        let err = server.submit(s, "SELECT x FROM t").unwrap_err();
+        assert!(matches!(err, ServerError::UnknownSession(_)), "{err}");
+    }
+
+    #[test]
+    fn closed_sessions_release_drr_lanes_under_the_arena() {
+        let server = seeded_server(ServerConfig {
+            workers: 0,
+            arena: true,
+            ..ServerConfig::default()
+        });
+        let s = server.connect(Profile::UltraPrecise);
+        let ticket = server.submit(s, "SELECT x * x FROM t").unwrap();
+        server.close_session(s);
+        let err = ticket.wait_timeout(Duration::from_millis(200)).unwrap_err();
+        assert!(matches!(err, ServerError::UnknownSession(_)), "{err}");
+        // The drained job released its prefetched compile entry (no seq
+        // left owning arena state) and the DRR lane is gone.
+        let st = server.arena_stats().unwrap();
+        assert_eq!(st.compile.queued, 0, "prefetch entries released");
+        match &server.inner.queue {
+            Dispatch::Drr(q) => assert_eq!(q.lanes(), 0, "lane forgotten"),
+            Dispatch::Fifo(_) => panic!("arena mode uses the DRR queue"),
+        }
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped() {
+        let server = seeded_server(ServerConfig::default());
+        let a = server.connect(Profile::UltraPrecise);
+        let b = server.connect(Profile::UltraPrecise);
+        server.query(a, "SELECT x FROM t").unwrap();
+        assert!(server.reap_idle_sessions(Duration::from_secs(3600)).is_empty());
+        std::thread::sleep(Duration::from_millis(15));
+        server.query(a, "SELECT x FROM t").unwrap();
+        let reaped = server.reap_idle_sessions(Duration::from_millis(10));
+        assert_eq!(reaped, vec![b], "only the idle session is evicted");
+        assert!(server.session_stats(a).is_some());
+        assert!(server.session_stats(b).is_none());
+    }
+
+    #[test]
+    fn cancel_handle_cancels_from_outside_the_ticket() {
+        let server = seeded_server(ServerConfig { workers: 0, ..ServerConfig::default() });
+        let s = server.connect(Profile::UltraPrecise);
+        let ticket = server.submit(s, "SELECT x FROM t").unwrap();
+        let handle = ticket.cancel_handle();
+        handle.cancel();
         assert!(ticket.cancel.load(Ordering::Relaxed));
     }
 

@@ -18,6 +18,8 @@
 //! * [`up_server`] — the concurrent query service (sessions, admission
 //!   control, shared JIT cache, simulated GPU stream scheduling,
 //!   metrics);
+//! * [`up_net`] — the framed TCP wire protocol in front of the service,
+//!   with per-tenant quotas and a blocking client;
 //! * [`up_workloads`] — TPC-H, RSA-in-SQL, Taylor trigonometry, and
 //!   compression workload generators.
 //!
@@ -39,6 +41,7 @@ pub use up_baselines;
 pub use up_engine;
 pub use up_gpusim;
 pub use up_jit;
+pub use up_net;
 pub use up_num;
 pub use up_server;
 pub use up_workloads;
@@ -47,6 +50,7 @@ pub use up_workloads;
 pub mod prelude {
     pub use up_engine::{ColumnType, Database, Profile, QueryError, QueryResult, Schema, Value};
     pub use up_gpusim::{PipelineMode, SimParallelism};
+    pub use up_net::{Client, NetConfig, TenantQuota, TenantRegistry, WireServer};
     pub use up_num::{DecimalType, UpDecimal};
     pub use up_server::{ServerConfig, SessionId, UpServer};
 }
