@@ -1,5 +1,6 @@
-//! `bench_simspeed` — host-side simulator throughput across interpreter
-//! backends (tree walker vs. pre-decoded flat programs) and host
+//! `bench_simspeed` — host-side simulator throughput across execution
+//! tiers (tree walker, pre-decoded flat programs, closure-compiled
+//! superblocks, and `auto` count-based tier promotion) and host
 //! parallelism (serial vs. threaded block execution).
 //!
 //! Unlike the figure harnesses (which report *modeled* GPU time), this
@@ -19,11 +20,19 @@
 //! the priced kernel time bit-equal (`f64::to_bits`). A violation aborts
 //! the bench — speed without determinism is a bug, not a result.
 //!
-//! Usage: `bench_simspeed [--quick] [--tuples N] [--out PATH]`.
-//! Results land in `results/BENCH_simspeed.json`. On single-core hosts
-//! the thread sweep still runs (explicit `threads(N)` is a demand, not a
-//! hint), but no speedup is expected; the speedup targets apply to
-//! multi-core machines.
+//! Usage: `bench_simspeed [--quick] [--tuples N] [--out PATH]
+//! [--assert-tiering]`. Results land in `results/BENCH_simspeed.json`.
+//! On single-core hosts the thread sweep still runs (explicit
+//! `threads(N)` is a demand, not a hint), but no speedup is expected;
+//! the speedup targets apply to multi-core machines.
+//! `--assert-tiering` exits non-zero unless the compiled tier beats the
+//! decoded interpreter on the hot carry-chain (fig13 mul) serial cells —
+//! the CI guard for tier-promotion regressions.
+//!
+//! The `auto` rows exercise count-based promotion live: each workload
+//! reuses one kernel, so the first `UP_SIM_TIER_THRESHOLD` auto launches
+//! run decoded and the rest run compiled — the determinism check
+//! covering the promotion boundary is exactly the point.
 
 use std::time::Instant;
 use up_bench::{precision_for_len, HarnessOpts};
@@ -119,6 +128,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results/BENCH_simspeed.json".to_string());
+    let assert_tiering = args.iter().any(|a| a == "--assert-tiering");
     let n = opts.sim_tuples;
     let reps = if opts.quick { 1 } else { 3 };
     let device = DeviceConfig::a6000();
@@ -134,6 +144,9 @@ fn main() {
     );
 
     let mut json_entries: Vec<String> = Vec::new();
+    // (workload, decoded serial tps, compiled serial tps) for the hot
+    // carry-chain cells the CI guard checks.
+    let mut tier_cells: Vec<(String, f64, f64)> = Vec::new();
     for w in workloads() {
         let jit = JitEngine::with_defaults();
         let (compiled, _) = jit.compile(&w.expr);
@@ -199,7 +212,13 @@ fn main() {
             identical: true,
         }];
 
-        for backend in [ExecBackend::Tree, ExecBackend::Decoded] {
+        let mut serial_tps_by_backend: Vec<(&'static str, f64)> = Vec::new();
+        for backend in [
+            ExecBackend::Tree,
+            ExecBackend::Decoded,
+            ExecBackend::Compiled,
+            ExecBackend::Auto,
+        ] {
             let sweep: Vec<SimParallelism> = std::iter::once(SimParallelism::Serial)
                 .chain(std::iter::once(SimParallelism::Threads(1)))
                 .chain(thread_counts.iter().map(|&t| SimParallelism::Threads(t as u32)))
@@ -211,7 +230,9 @@ fn main() {
                 }
                 let backend_name = match backend {
                     ExecBackend::Tree => "tree",
-                    _ => "decoded",
+                    ExecBackend::Decoded => "decoded",
+                    ExecBackend::Compiled => "compiled",
+                    ExecBackend::Auto => "auto",
                 };
                 let label = format!("{backend_name}/{par}");
                 let (stats, bufs, time, wall) = run(backend, par);
@@ -230,6 +251,9 @@ fn main() {
                     tps,
                     s_wall / wall
                 );
+                if par == SimParallelism::Serial {
+                    serial_tps_by_backend.push((backend_name, tps));
+                }
                 modes.push(ModeResult {
                     backend: backend_name,
                     mode: par.to_string(),
@@ -239,6 +263,16 @@ fn main() {
                     identical,
                 });
             }
+        }
+        if w.name.contains("mul") {
+            let tps_of = |b: &str| {
+                serial_tps_by_backend
+                    .iter()
+                    .find(|(name, _)| *name == b)
+                    .map(|&(_, t)| t)
+                    .expect("serial cell present")
+            };
+            tier_cells.push((w.name.to_string(), tps_of("decoded"), tps_of("compiled")));
         }
         println!();
 
@@ -262,13 +296,14 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"bench\":\"simspeed\",\"schema\":\"backend-x-parallelism-v2\",\
+        "{{\"bench\":\"simspeed\",\"schema\":\"backend-x-parallelism-v3\",\
          \"host_threads\":{},\"quick\":{},\
-         \"tuples_per_run\":{},\"reps\":{},\"workloads\":[{}]}}\n",
+         \"tuples_per_run\":{},\"reps\":{},\"tier_threshold\":{},\"workloads\":[{}]}}\n",
         host,
         opts.quick,
         n,
         reps,
+        up_gpusim::tier_threshold(),
         json_entries.join(",")
     );
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
@@ -276,4 +311,21 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write BENCH_simspeed.json");
     println!("wrote {out_path}");
+
+    // The tier-promotion payoff summary (and CI guard): the closure tier
+    // must not lose to the interpreter it was promoted from on the hot
+    // carry-chain kernels.
+    let mut tier_ok = true;
+    for (name, decoded, compiled) in &tier_cells {
+        let ratio = compiled / decoded;
+        println!(
+            "tiering {name}: compiled/serial {ratio:.2}x decoded/serial{}",
+            if ratio < 1.0 { "  << REGRESSION" } else { "" }
+        );
+        tier_ok &= ratio >= 1.0;
+    }
+    if assert_tiering {
+        assert!(tier_ok, "compiled tier lost to decoded on a hot carry-chain cell");
+        println!("tiering assertion passed");
+    }
 }

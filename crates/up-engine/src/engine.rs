@@ -673,9 +673,12 @@ mod tests {
             db.query("SELECT x * x + x FROM w").unwrap()
         };
         let oracle = run(ExecBackend::Tree, up_gpusim::SimParallelism::Serial);
+        assert_eq!(oracle.tiers.tree, 1, "tree launch attributed");
         for (backend, par) in [
             (ExecBackend::Decoded, up_gpusim::SimParallelism::Serial),
             (ExecBackend::Decoded, up_gpusim::SimParallelism::Threads(8)),
+            (ExecBackend::Compiled, up_gpusim::SimParallelism::Serial),
+            (ExecBackend::Compiled, up_gpusim::SimParallelism::Threads(8)),
             (ExecBackend::Auto, up_gpusim::SimParallelism::Auto),
         ] {
             let r = run(backend, par);
@@ -689,6 +692,12 @@ mod tests {
                 "{backend}/{par}: modeled kernel time must be bit-equal to tree/serial"
             );
             assert_eq!(r.kernels, oracle.kernels, "{backend}/{par}");
+            // Tier attribution matches the backend that actually ran.
+            match backend {
+                ExecBackend::Decoded => assert_eq!(r.tiers.decoded, 1, "{backend}/{par}"),
+                ExecBackend::Compiled => assert_eq!(r.tiers.compiled, 1, "{backend}/{par}"),
+                _ => assert_eq!(r.tiers.total(), 1, "{backend}/{par}"),
+            }
         }
     }
 

@@ -177,6 +177,11 @@ pub struct QueryResult {
     pub modeled: ModeledTime,
     /// GPU kernels launched.
     pub kernels: usize,
+    /// Which simulator tier each launch executed on (tree / decoded /
+    /// closure-compiled), plus decoded→compiled promotion events. Purely
+    /// observational: rows, `modeled`, and stats are bit-identical across
+    /// tiers, so this never feeds back into results.
+    pub tiers: up_gpusim::TierCounters,
     /// The modeled pipeline timeline, when the plan ran through the
     /// launch DAG (`None` under [`PipelineMode::Off`] or when the plan
     /// had fewer than two independent slots). Kept separate from
@@ -207,9 +212,11 @@ pub struct ExecCtx<'a> {
     /// Bit-identical results and modeled times regardless of setting;
     /// only host wall-clock and the side-band [`PipelineReport`] change.
     pub pipeline: PipelineMode,
-    /// Functional-interpreter backend (tree walker vs. decoded flat
-    /// programs). Bit-identical results, stats, and modeled times; only
-    /// host wall-clock changes.
+    /// Functional-interpreter backend (tree walker, decoded flat
+    /// programs, closure-compiled superblocks, or `Auto` count-based
+    /// tier promotion). Bit-identical results, stats, and modeled times;
+    /// only host wall-clock and the observational [`QueryResult::tiers`]
+    /// change.
     pub exec_backend: up_gpusim::ExecBackend,
     /// Server-wide pipeline-arena binding, when this query runs under
     /// `up-server` with the arena on: compiles rendezvous with the
@@ -340,6 +347,7 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
     let n = sel[0].len();
 
     let mut kernels = 0usize;
+    let mut tiers = up_gpusim::TierCounters::default();
     // All of a query's kernels compile in one translation unit (the
     // paper's Q1 reports one 320–423 ms compile covering every kernel),
     // so compile time is the front-end cost once plus the marginal
@@ -402,10 +410,11 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
                             it.next().expect("one DAG node per aggregate input"),
                             &mut modeled,
                             &mut kernels,
+                            &mut tiers,
                             &mut compile_parts,
                         ),
                         None => {
-                            let (vals, mut m, k) =
+                            let (vals, mut m, k, t) =
                                 eval_scalar_column(ctx, scalar, &tables, &sel, n)?;
                             if m.compile_s > 0.0 {
                                 compile_parts.push(m.compile_s);
@@ -413,6 +422,7 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
                             }
                             modeled.add(&m);
                             kernels += k;
+                            tiers += t;
                             modeled.add(&price_aggregation(ctx, *f, scalar, &vals, n));
                             vals
                         }
@@ -429,10 +439,11 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
                                         it.next().expect("one DAG node per aggregate input"),
                                         &mut modeled,
                                         &mut kernels,
+                                        &mut tiers,
                                         &mut compile_parts,
                                     ),
                                     None => {
-                                        let (vals, mut m, k) =
+                                        let (vals, mut m, k, t) =
                                             eval_scalar_column(ctx, sc, &tables, &sel, n)?;
                                         if m.compile_s > 0.0 {
                                             compile_parts.push(m.compile_s);
@@ -440,6 +451,7 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
                                         }
                                         modeled.add(&m);
                                         kernels += k;
+                                        tiers += t;
                                         modeled.add(&price_aggregation(ctx, *f, sc, &vals, n));
                                         vals
                                     }
@@ -497,16 +509,18 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
                             it.next().expect("one DAG node per projection"),
                             &mut modeled,
                             &mut kernels,
+                            &mut tiers,
                             &mut compile_parts,
                         ),
                         None => {
-                            let (vals, mut m, k) = eval_scalar_column(ctx, s, &tables, &sel, n)?;
+                            let (vals, mut m, k, t) = eval_scalar_column(ctx, s, &tables, &sel, n)?;
                             if m.compile_s > 0.0 {
                                 compile_parts.push(m.compile_s);
                                 m.compile_s = 0.0;
                             }
                             modeled.add(&m);
                             kernels += k;
+                            tiers += t;
                             vals
                         }
                     };
@@ -566,6 +580,7 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
         wall_s: t0.elapsed().as_secs_f64(),
         modeled,
         kernels,
+        tiers,
         pipeline: pipeline_report,
     })
 }
@@ -732,7 +747,7 @@ fn like_match(s: &str, pat: &str) -> bool {
 // Scalar column evaluation per profile
 // ---------------------------------------------------------------------
 
-type ScalarOut = (Vec<Value>, ModeledTime, usize);
+type ScalarOut = (Vec<Value>, ModeledTime, usize, up_gpusim::TierCounters);
 
 /// CPU arithmetic cost grows with the digit count, but sublinearly in
 /// measured systems (dispatch and allocation amortize the digit loops —
@@ -761,7 +776,7 @@ fn eval_scalar_column(
                 cpu_s: n as f64 * (tuple_ns + cost.per_op_ns) * 1e-9 / cost.parallelism,
                 ..Default::default()
             };
-            Ok((vals, m, 0))
+            Ok((vals, m, 0, Default::default()))
         }
         Scalar::Decimal { expr, inputs } => match ctx.profile {
             Profile::UltraPrecise if ctx.expr_tpi > 1 => {
@@ -784,22 +799,25 @@ fn eval_scalar_column(
             // the GPU `selp` pattern of the generated kernels.
             let mut modeled = ModeledTime::default();
             let mut kernels = 0usize;
+            let mut tiers = up_gpusim::TierCounters::default();
             let mut branch_cols: Vec<(Vec<bool>, Vec<Value>)> = Vec::new();
             for (pred, scalar) in branches {
                 let mut mask = Vec::with_capacity(n);
                 for i in 0..n {
                     mask.push(eval_pred(pred, tables, sel, i)?);
                 }
-                let (vals, m, k) = eval_scalar_column(ctx, scalar, tables, sel, n)?;
+                let (vals, m, k, t) = eval_scalar_column(ctx, scalar, tables, sel, n)?;
                 modeled.add(&m);
                 kernels += k;
+                tiers += t;
                 branch_cols.push((mask, vals));
             }
             let else_vals = match else_ {
                 Some(s) => {
-                    let (vals, m, k) = eval_scalar_column(ctx, s, tables, sel, n)?;
+                    let (vals, m, k, t) = eval_scalar_column(ctx, s, tables, sel, n)?;
                     modeled.add(&m);
                     kernels += k;
+                    tiers += t;
                     Some(vals)
                 }
                 None => None,
@@ -822,15 +840,15 @@ fn eval_scalar_column(
                 });
                 out.push(coerce_unified(v, *unified)?);
             }
-            Ok((out, modeled, kernels))
+            Ok((out, modeled, kernels, tiers))
         }
         Scalar::Cast { inner, ty } => {
-            let (vals, modeled, kernels) = eval_scalar_column(ctx, inner, tables, sel, n)?;
+            let (vals, modeled, kernels, tiers) = eval_scalar_column(ctx, inner, tables, sel, n)?;
             let out = vals
                 .into_iter()
                 .map(|v| cast_value(v, *ty))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok((out, modeled, kernels))
+            Ok((out, modeled, kernels, tiers))
         }
     }
 }
@@ -1044,6 +1062,9 @@ struct SlotNodeOut {
     /// This node's contribution to the query's single-TU compile fold.
     compile_part: Option<f64>,
     kernels: usize,
+    /// Tier attribution for this node's launches (captured thread-locally
+    /// on the worker that ran them).
+    tiers: up_gpusim::TierCounters,
     /// The aggregate reduction priced over the full selection (zero for
     /// plain projections).
     price: ModeledTime,
@@ -1109,7 +1130,7 @@ fn eval_slots_pipelined(
     let job = |i: usize| -> Result<SlotNodeOut, QueryError> {
         let slot = &slots[i];
         let pre = handles[i].lock().expect("handle lock").take().map(|h| h.wait());
-        let (vals, mut m, kernels) = match (pre, slot.scalar) {
+        let (vals, mut m, kernels, tiers) = match (pre, slot.scalar) {
             (Some(p), Scalar::Decimal { expr, inputs }) => {
                 eval_decimal_gpu_jit(ctx, expr, inputs, tables, sel, n, Some(p))?
             }
@@ -1121,7 +1142,7 @@ fn eval_slots_pipelined(
         };
         let compile_part = (m.compile_s > 0.0).then_some(m.compile_s);
         m.compile_s = 0.0;
-        Ok(SlotNodeOut { vals, m, compile_part, kernels, price })
+        Ok(SlotNodeOut { vals, m, compile_part, kernels, tiers, price })
     };
 
     let results = run_dag(&deps, ctx.pipeline, job);
@@ -1197,6 +1218,7 @@ fn merge_slot_out(
     o: SlotNodeOut,
     modeled: &mut ModeledTime,
     kernels: &mut usize,
+    tiers: &mut up_gpusim::TierCounters,
     compile_parts: &mut Vec<f64>,
 ) -> Vec<Value> {
     if let Some(c) = o.compile_part {
@@ -1204,6 +1226,7 @@ fn merge_slot_out(
     }
     modeled.add(&o.m);
     *kernels += o.kernels;
+    *tiers += o.tiers;
     modeled.add(&o.price);
     o.vals
 }
@@ -1239,12 +1262,12 @@ fn eval_decimal_gpu_jit(
 
     match compiled {
         Compiled::Passthrough(Expr::Const(c)) => {
-            Ok((vec![Value::Decimal(c); n], modeled, 0))
+            Ok((vec![Value::Decimal(c); n], modeled, 0, Default::default()))
         }
         Compiled::Passthrough(Expr::Col { index, .. }) => {
             let w = inputs[index];
             let vals = (0..n).map(|i| tuple_value(tables, sel, i, w)).collect();
-            Ok((vals, modeled, 0))
+            Ok((vals, modeled, 0, Default::default()))
         }
         Compiled::Passthrough(other) => Err(QueryError::Unsupported(format!(
             "unexpected passthrough {other:?}"
@@ -1295,6 +1318,10 @@ fn eval_decimal_gpu_jit(
                     }
                     other => QueryError::Sim(other.to_string()),
                 })?;
+            // `launch_opts` is synchronous and the attribution is
+            // thread-local, so this delta belongs to exactly the launch
+            // above even when DAG slots evaluate on worker threads.
+            let tiers = up_gpusim::last_launch_tiers();
             let kt = kernel_time(&k.kernel, &stats, ctx.device);
             modeled.kernel_s += kt.total_s;
             modeled.pcie_s += ctx.device.pcie_time(pcie_bytes);
@@ -1308,7 +1335,7 @@ fn eval_decimal_gpu_jit(
                     ))
                 })
                 .collect();
-            Ok((vals, modeled, 1))
+            Ok((vals, modeled, 1, tiers))
         }
     }
 }
@@ -1369,7 +1396,9 @@ fn eval_decimal_gpu_mt(
             64 * kernel.out_ty.lw() * optimized.op_count().max(1),
         );
     }
-    Ok((vals.into_iter().map(Value::Decimal).collect(), modeled, 1))
+    // TPI kernels run through the analytic CGBN model, not the
+    // instruction simulator — no tier to attribute.
+    Ok((vals.into_iter().map(Value::Decimal).collect(), modeled, 1, Default::default()))
 }
 
 /// Bytes per value in a GPU baseline's representation.
@@ -1458,7 +1487,7 @@ fn eval_decimal_limited(
         * (tuple_ns + expr.op_count() as f64 * cost.per_op_ns * wf)
         * 1e-9
         / cost.parallelism;
-    Ok((vals, modeled, 0))
+    Ok((vals, modeled, 0, Default::default()))
 }
 
 fn eval_limited_expr(
@@ -1529,7 +1558,7 @@ fn eval_decimal_soft(
             / cost.parallelism,
         ..Default::default()
     };
-    Ok((vals, modeled, 0))
+    Ok((vals, modeled, 0, Default::default()))
 }
 
 fn eval_soft_expr(
@@ -1603,7 +1632,7 @@ fn eval_decimal_as_double(
             / cost.parallelism,
         ..Default::default()
     };
-    Ok((vals, modeled, 0))
+    Ok((vals, modeled, 0, Default::default()))
 }
 
 fn eval_f64_expr(e: &Expr, row: &[f64]) -> f64 {

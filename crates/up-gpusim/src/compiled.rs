@@ -1,0 +1,1035 @@
+//! Tier-3 executor: closure-compiled ("threaded code") kernel programs
+//! with count-based tier promotion.
+//!
+//! The tier-2 interpreter in [`crate::decoded`] already runs full-mask
+//! superblocks with no divergence bookkeeping, but it still pays one trip
+//! through a ~40-arm `DOp` match per instruction and updates the stats
+//! fields per instruction. This module *compiles* each superblock once
+//! into a chain of small monomorphized Rust closures over the same
+//! structure-of-arrays register file:
+//!
+//! * Register-only ops lower to one tiny closure each — the operand
+//!   offsets are captured as constants and each closure body is a single
+//!   lane-inner loop the autovectorizer can SIMD across the 32 lanes,
+//!   instead of one arm buried inside a giant match.
+//! * Maximal runs of carry-chain ops (`add.cc`/`addc`/`sub.cc`/`subc`/
+//!   `mad.lo.cc`/`madc.hi` — the spine of every multi-limb add and
+//!   school-book multiply) fuse into a *single* register-tiled closure
+//!   that keeps the 32 carry flags in one local `u32` across the whole
+//!   chain and writes the architectural carry register once at the end.
+//! * Per-instruction stats collapse to one batched update per straight-
+//!   line segment; the f64 `warp_issue_cycles` additions are replayed
+//!   element-by-element in original program order, so the non-associative
+//!   f64 sum stays bit-identical to the interpreter's.
+//! * Ops that touch memory, params, or add data-dependent cycles
+//!   (`DivBig`) stay interpreter steps (`Step::Interp`) executed by the
+//!   *same* `exec_dop` the decoded tier uses, frame-for-frame.
+//!
+//! Divergent regions and control flow never reach this module: the
+//! decoded interpreter's `run_warp` only enters a compiled superblock
+//! when the warp is fully converged, and falls back to its own loop
+//! everywhere else. Outputs, [`crate::ExecStats`], and error surfaces are
+//! therefore bit-identical across tree/decoded/compiled — the
+//! differential fuzz suites in [`crate::decoded`] enforce it.
+//!
+//! **Promotion.** Compiling costs one pass over the decoded program plus
+//! a closure allocation per instruction, so cold kernels should not pay
+//! it. Under [`crate::ExecBackend::Auto`] each kernel counts its launches
+//! ([`TierCache`]); once the count exceeds [`tier_threshold`] (default 2,
+//! env `UP_SIM_TIER_THRESHOLD`) the kernel is promoted and the compiled
+//! artifact is cached in an `OnceLock<Arc<_>>` on the kernel — shared by
+//! clones, the `up-jit` kernel cache, and the cross-query arena, so one
+//! compile serves every session that hits the same cached kernel.
+
+use crate::decoded::{DCtx, DOp, DecodedProgram, Op};
+use crate::exec::{full_mask, Geometry, MemAccess, SimError};
+use crate::par::env_parse;
+use crate::ptx::Kernel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A compiled straight-line segment body: mutates registers, predicates,
+/// and the carry mask of a fully-converged warp. Never touches memory or
+/// stats, never fails.
+type AluThunk = Box<dyn Fn(&mut [u32], &mut [u32], &mut u32, &Geometry, usize) + Send + Sync>;
+
+/// One step of a compiled superblock.
+enum Step {
+    /// A run of register-only instructions: stats are applied in one
+    /// batch (`cycles` replayed in order), then the closures run. A
+    /// fused carry chain is one thunk covering several `cycles` entries.
+    Alu { thunks: Box<[AluThunk]>, cycles: Box<[f64]> },
+    /// A single instruction that touches memory/params or contributes
+    /// data-dependent cycles — executed by the decoded tier's `exec_dop`
+    /// with exactly the interpreter's per-instruction stats.
+    Interp { dop: DOp, cycles: f64 },
+}
+
+/// A compiled superblock: the steps of one maximal straight-line run plus
+/// its exclusive end pc (where the interpreter resumes).
+pub(crate) struct SuperBlock {
+    steps: Box<[Step]>,
+    pub(crate) end: u32,
+}
+
+/// A kernel's closure-compiled program, indexed by superblock start pc.
+/// Built once per kernel at promotion (see [`TierCache`]) and shared by
+/// every clone through the `Arc`.
+pub struct CompiledProgram {
+    /// `blocks[pc]` is `Some` iff `pc` starts a superblock.
+    blocks: Vec<Option<SuperBlock>>,
+    superblocks: usize,
+    fused_chains: usize,
+    fused_insts: usize,
+    alu_insts: usize,
+    interp_insts: usize,
+}
+
+impl CompiledProgram {
+    /// The compiled superblock starting at `pc`, if any.
+    #[inline]
+    pub(crate) fn block_at(&self, pc: usize) -> Option<&SuperBlock> {
+        self.blocks.get(pc).and_then(|b| b.as_ref())
+    }
+
+    /// Superblocks lowered (same count as the decoded program's).
+    pub fn superblock_count(&self) -> usize {
+        self.superblocks
+    }
+
+    /// Carry-chain runs (length ≥ 2) fused into single closures.
+    pub fn fused_chain_count(&self) -> usize {
+        self.fused_chains
+    }
+
+    /// Instructions covered by fused carry-chain closures.
+    pub fn fused_inst_count(&self) -> usize {
+        self.fused_insts
+    }
+
+    /// Instructions lowered to register-only closures (incl. fused).
+    pub fn alu_inst_count(&self) -> usize {
+        self.alu_insts
+    }
+
+    /// Instructions kept as interpreter steps (memory/params/`DivBig`).
+    pub fn interp_inst_count(&self) -> usize {
+        self.interp_insts
+    }
+}
+
+impl std::fmt::Debug for CompiledProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CompiledProgram({} superblocks, {} alu + {} interp insts, {} fused chains)",
+            self.superblocks, self.alu_insts, self.interp_insts, self.fused_chains
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tier promotion: per-kernel launch counters + process-wide tier counters.
+// ---------------------------------------------------------------------------
+
+/// Launches a kernel from decoded to compiled once its launch count
+/// *exceeds* this bound (default 2: launches 1–2 interpret, 3+ run
+/// compiled). Env `UP_SIM_TIER_THRESHOLD`, read once; an invalid value
+/// warns on stderr like the other knobs and falls back to the default.
+pub fn tier_threshold() -> u64 {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        env_parse("UP_SIM_TIER_THRESHOLD", "a launch count", |v| v.parse::<u64>().ok())
+            .unwrap_or(2)
+    })
+}
+
+static COMPILE_BUILDS: AtomicU64 = AtomicU64::new(0);
+static COMPILE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide closure-compile counters: `(programs_built, cache_hits)`
+/// — the tier-3 analogue of [`crate::decode_counters`].
+pub fn compile_counters() -> (u64, u64) {
+    (COMPILE_BUILDS.load(Ordering::Relaxed), COMPILE_HITS.load(Ordering::Relaxed))
+}
+
+/// Per-kernel compiled-tier cache: the launch counter driving promotion
+/// and the `OnceLock`-cached compiled artifact. Clones share a built
+/// artifact (the `Arc` is cloned); the JIT cache and the cross-query
+/// arena hold kernels behind `Arc`, so one compile serves all sessions.
+pub struct TierCache {
+    program: OnceLock<Arc<CompiledProgram>>,
+    launches: AtomicU64,
+}
+
+impl TierCache {
+    /// Records one launch, returning its ordinal (1 for the first).
+    pub(crate) fn record_launch(&self) -> u64 {
+        self.launches.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Whether the compiled artifact has been built (i.e. the kernel has
+    /// paid compile cost).
+    pub(crate) fn built(&self) -> bool {
+        self.program.get().is_some()
+    }
+
+    /// The compiled artifact, building it on first call. The second tuple
+    /// element is `true` iff *this* call performed the build — the
+    /// promotion event.
+    pub(crate) fn get_or_compile(&self, kernel: &Kernel) -> (&Arc<CompiledProgram>, bool) {
+        if let Some(p) = self.program.get() {
+            COMPILE_HITS.fetch_add(1, Ordering::Relaxed);
+            return (p, false);
+        }
+        let mut built = false;
+        let p = self.program.get_or_init(|| {
+            COMPILE_BUILDS.fetch_add(1, Ordering::Relaxed);
+            built = true;
+            Arc::new(compile(kernel))
+        });
+        (p, built)
+    }
+}
+
+impl Default for TierCache {
+    fn default() -> Self {
+        TierCache { program: OnceLock::new(), launches: AtomicU64::new(0) }
+    }
+}
+
+impl Clone for TierCache {
+    fn clone(&self) -> Self {
+        // Share a built artifact; the launch count is a per-kernel-object
+        // statistic, so the clone starts from the source's current count.
+        TierCache {
+            program: self.program.clone(),
+            launches: AtomicU64::new(self.launches.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl std::fmt::Debug for TierCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.program.get() {
+            Some(p) => write!(f, "TierCache(compiled: {p:?}, launches: {})", self.launches.load(Ordering::Relaxed)),
+            None => write!(f, "TierCache(decoded, launches: {})", self.launches.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Which tier actually executed a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecTier {
+    /// Reference `Stmt`-tree walker.
+    Tree,
+    /// Pre-decoded flat-program interpreter.
+    Decoded,
+    /// Closure-compiled superblocks (decoded fallback on divergence).
+    Compiled,
+}
+
+/// Per-tier launch totals plus promotion events — process-wide via
+/// [`tier_counters`], per-launch via [`last_launch_tiers`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Launches executed by the tree walker.
+    pub tree: u64,
+    /// Launches executed by the decoded interpreter.
+    pub decoded: u64,
+    /// Launches executed by the closure-compiled tier.
+    pub compiled: u64,
+    /// Promotion events (a kernel's compiled artifact getting built under
+    /// `auto` tiering).
+    pub promotions: u64,
+}
+
+impl TierCounters {
+    /// Total launches across all tiers.
+    pub fn total(&self) -> u64 {
+        self.tree + self.decoded + self.compiled
+    }
+}
+
+impl std::ops::AddAssign for TierCounters {
+    fn add_assign(&mut self, rhs: TierCounters) {
+        self.tree += rhs.tree;
+        self.decoded += rhs.decoded;
+        self.compiled += rhs.compiled;
+        self.promotions += rhs.promotions;
+    }
+}
+
+static TREE_LAUNCHES: AtomicU64 = AtomicU64::new(0);
+static DECODED_LAUNCHES: AtomicU64 = AtomicU64::new(0);
+static COMPILED_LAUNCHES: AtomicU64 = AtomicU64::new(0);
+static PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide per-tier launch counts and promotion events (e.g. for the
+/// server metrics report).
+pub fn tier_counters() -> TierCounters {
+    TierCounters {
+        tree: TREE_LAUNCHES.load(Ordering::Relaxed),
+        decoded: DECODED_LAUNCHES.load(Ordering::Relaxed),
+        compiled: COMPILED_LAUNCHES.load(Ordering::Relaxed),
+        promotions: PROMOTIONS.load(Ordering::Relaxed),
+    }
+}
+
+thread_local! {
+    static LAST_LAUNCH: std::cell::Cell<Option<(ExecTier, bool)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Records a launch's tier on the process-wide counters and as this
+/// thread's most recent launch (launches are synchronous, so the caller
+/// can attribute it right after `launch_opts` returns).
+pub(crate) fn note_launch(tier: ExecTier, promoted: bool) {
+    match tier {
+        ExecTier::Tree => TREE_LAUNCHES.fetch_add(1, Ordering::Relaxed),
+        ExecTier::Decoded => DECODED_LAUNCHES.fetch_add(1, Ordering::Relaxed),
+        ExecTier::Compiled => COMPILED_LAUNCHES.fetch_add(1, Ordering::Relaxed),
+    };
+    if promoted {
+        PROMOTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+    LAST_LAUNCH.with(|c| c.set(Some((tier, promoted))));
+}
+
+/// The most recent launch on *this* thread as a one-launch
+/// [`TierCounters`] delta (all-zero if this thread has not launched).
+/// Launches run synchronously on the calling thread, so reading this
+/// immediately after a `launch_opts` call attributes that launch —
+/// race-free even with concurrent launches on other threads.
+pub fn last_launch_tiers() -> TierCounters {
+    let mut t = TierCounters::default();
+    if let Some((tier, promoted)) = LAST_LAUNCH.with(|c| c.get()) {
+        match tier {
+            ExecTier::Tree => t.tree = 1,
+            ExecTier::Decoded => t.decoded = 1,
+            ExecTier::Compiled => t.compiled = 1,
+        }
+        if promoted {
+            t.promotions = 1;
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+/// Runs one compiled superblock over a fully-converged warp. Stats
+/// batching is exact: integer stats are associative, and the f64
+/// `warp_issue_cycles` additions replay element-by-element in the same
+/// program order the interpreter uses (ALU thunks never touch stats, so
+/// hoisting a segment's cycle additions ahead of its thunks preserves
+/// the f64 addition sequence; `DivBig`'s data-dependent cycles stay an
+/// `Interp` step in sequence).
+pub(crate) fn run_superblock<M: MemAccess>(
+    sb: &SuperBlock,
+    c: &mut DCtx<'_, M>,
+    geom: &Geometry,
+    lanes_n: usize,
+    full: u32,
+) -> Result<(), SimError> {
+    for step in sb.steps.iter() {
+        match step {
+            Step::Alu { thunks, cycles } => {
+                let insts = cycles.len() as u64;
+                c.stats.warp_issues += insts;
+                c.stats.thread_insts += insts * lanes_n as u64;
+                for cy in cycles.iter() {
+                    c.stats.warp_issue_cycles += *cy;
+                }
+                for t in thunks.iter() {
+                    t(&mut c.regs, &mut c.preds, &mut c.carry, geom, lanes_n);
+                }
+            }
+            Step::Interp { dop, cycles } => {
+                c.stats.warp_issues += 1;
+                c.stats.warp_issue_cycles += *cycles;
+                c.stats.thread_insts += lanes_n as u64;
+                crate::decoded::exec_dop::<true, M>(c, dop, geom, full, lanes_n)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Lowering.
+// ---------------------------------------------------------------------------
+
+/// Fused carry-chain micro-ops: operand offsets pre-resolved to SoA rows.
+#[derive(Clone, Copy)]
+enum CarryKind {
+    AddCC,
+    AddC,
+    SubCC,
+    SubC,
+    MadLoCC,
+    MadHiC,
+}
+
+#[derive(Clone, Copy)]
+struct CarryOp {
+    kind: CarryKind,
+    d: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+}
+
+fn carry_op(dop: &DOp) -> Option<CarryOp> {
+    Some(match *dop {
+        DOp::AddCC { d, a, b } => {
+            CarryOp { kind: CarryKind::AddCC, d: d as usize, a: a as usize, b: b as usize, c: 0 }
+        }
+        DOp::AddC { d, a, b } => {
+            CarryOp { kind: CarryKind::AddC, d: d as usize, a: a as usize, b: b as usize, c: 0 }
+        }
+        DOp::SubCC { d, a, b } => {
+            CarryOp { kind: CarryKind::SubCC, d: d as usize, a: a as usize, b: b as usize, c: 0 }
+        }
+        DOp::SubC { d, a, b } => {
+            CarryOp { kind: CarryKind::SubC, d: d as usize, a: a as usize, b: b as usize, c: 0 }
+        }
+        DOp::MadLoCC { d, a, b, c } => CarryOp {
+            kind: CarryKind::MadLoCC,
+            d: d as usize,
+            a: a as usize,
+            b: b as usize,
+            c: c as usize,
+        },
+        DOp::MadHiC { d, a, b, c } => CarryOp {
+            kind: CarryKind::MadHiC,
+            d: d as usize,
+            a: a as usize,
+            b: b as usize,
+            c: c as usize,
+        },
+        _ => return None,
+    })
+}
+
+// Register-tiled codegen: every thunk reads its source rows as fixed
+// `&[u32; 32]` tiles (the SoA register file always allocates rows at
+// stride `LANES` = 32, so the casts are one length check each), computes
+// all 32 lanes in a constant-trip loop, and writes the full destination
+// row back in one 128-byte copy. Constant trip count + fixed-size arrays
+// means no per-lane bounds checks, a fully-initialized local tile (the
+// `[0u32; 32]` init is dead and elided), and exactly the shape LLVM's
+// autovectorizer SIMDs across the warp — loops writing `regs[d + l]` in
+// place cannot vectorize because two rows of one `&mut [u32]` might
+// overlap as far as the compiler knows.
+//
+// Computing lanes ≥ `lanes_n` of a tail warp is deliberate: every lowered
+// op is total (checked divides, masked shifts), those lanes' rows are
+// dead storage no interpreter path ever reads (`lanes_apply`, gathers,
+// and merges all stop at `lanes_n`), and anything architectural —
+// predicates, the carry mask — is merged under `full_mask(n)`.
+// Read-all-then-write-all per op is bit-identical to the interpreter's
+// lane-by-lane order even when `d` aliases a source row: each lane only
+// ever reads its own lane index from each row.
+
+/// A register row as a fixed 32-lane tile.
+#[inline(always)]
+fn row(regs: &[u32], r: usize) -> &[u32; 32] {
+    regs[r..r + 32].try_into().unwrap()
+}
+
+/// A register row as a mutable fixed 32-lane tile.
+#[inline(always)]
+fn row_mut(regs: &mut [u32], r: usize) -> &mut [u32; 32] {
+    (&mut regs[r..r + 32]).try_into().unwrap()
+}
+
+/// Folds a tile of 0/1 flags into a lane bitmask.
+#[inline(always)]
+fn flag_bits(flags: &[u32; 32]) -> u32 {
+    let mut bits = 0u32;
+    for (l, f) in flags.iter().enumerate() {
+        bits |= f << l;
+    }
+    bits
+}
+
+/// One fused closure for a run of carry-chain ops: the 32 carry flags
+/// live in a local `u32` across the whole chain (the architectural carry
+/// register is read once and written once), and each op runs a
+/// register-tiled, constant-trip-count lane loop the autovectorizer can
+/// SIMD across the warp. Bit-identical to executing the ops one at a time
+/// through `exec_dop`: every lane < `n` computes the same flag sequence,
+/// and lanes ≥ `n` keep their stale carry bits exactly like the
+/// interpreter (their tile results exist but are masked off).
+fn fuse_chain(chain: Vec<CarryOp>) -> AluThunk {
+    let chain = chain.into_boxed_slice();
+    Box::new(move |regs, _preds, carry, _geom, n| {
+        let m = full_mask(n);
+        let mut cb = *carry;
+        for op in chain.iter() {
+            let (d, a, b, cc) = (op.d, op.a, op.b, op.c);
+            let mut td = [0u32; 32];
+            let mut fl = [0u32; 32];
+            {
+                let ta = row(regs, a);
+                let tb = row(regs, b);
+                match op.kind {
+                    CarryKind::AddCC => {
+                        for l in 0..32 {
+                            let (s, co) = ta[l].overflowing_add(tb[l]);
+                            td[l] = s;
+                            fl[l] = co as u32;
+                        }
+                    }
+                    CarryKind::AddC => {
+                        for l in 0..32 {
+                            let (s1, c1) = ta[l].overflowing_add(tb[l]);
+                            let (s2, c2) = s1.overflowing_add(cb >> l & 1);
+                            td[l] = s2;
+                            fl[l] = (c1 | c2) as u32;
+                        }
+                    }
+                    CarryKind::SubCC => {
+                        for l in 0..32 {
+                            let (s, co) = ta[l].overflowing_sub(tb[l]);
+                            td[l] = s;
+                            fl[l] = co as u32;
+                        }
+                    }
+                    CarryKind::SubC => {
+                        for l in 0..32 {
+                            let (s1, c1) = ta[l].overflowing_sub(tb[l]);
+                            let (s2, c2) = s1.overflowing_sub(cb >> l & 1);
+                            td[l] = s2;
+                            fl[l] = (c1 | c2) as u32;
+                        }
+                    }
+                    CarryKind::MadLoCC => {
+                        let tc = row(regs, cc);
+                        for l in 0..32 {
+                            let prod_lo = (ta[l] as u64 * tb[l] as u64) as u32;
+                            let sum = prod_lo as u64 + tc[l] as u64;
+                            td[l] = sum as u32;
+                            fl[l] = (sum >> 32) as u32;
+                        }
+                    }
+                    CarryKind::MadHiC => {
+                        let tc = row(regs, cc);
+                        for l in 0..32 {
+                            let hi = ((ta[l] as u64 * tb[l] as u64) >> 32) as u32;
+                            let (s1, c1) = hi.overflowing_add(tc[l]);
+                            let (s2, c2) = s1.overflowing_add(cb >> l & 1);
+                            td[l] = s2;
+                            fl[l] = (c1 | c2) as u32;
+                        }
+                    }
+                }
+            }
+            *row_mut(regs, d) = td;
+            cb = (cb & !m) | (flag_bits(&fl) & m);
+        }
+        *carry = cb;
+    })
+}
+
+/// Builds a register-tiled thunk for a two-source ALU op, monomorphized
+/// per operation (`f` inlines into the bounds-check-free lane loop).
+#[inline]
+fn bin_thunk(
+    d: usize,
+    a: usize,
+    b: usize,
+    f: impl Fn(u32, u32) -> u32 + Send + Sync + 'static,
+) -> AluThunk {
+    Box::new(move |regs, _, _, _, _| {
+        let mut td = [0u32; 32];
+        {
+            let (ta, tb) = (row(regs, a), row(regs, b));
+            for l in 0..32 {
+                td[l] = f(ta[l], tb[l]);
+            }
+        }
+        *row_mut(regs, d) = td;
+    })
+}
+
+/// Register-tiled thunk for a one-source ALU op.
+#[inline]
+fn un_thunk(d: usize, a: usize, f: impl Fn(u32) -> u32 + Send + Sync + 'static) -> AluThunk {
+    Box::new(move |regs, _, _, _, _| {
+        let mut td = [0u32; 32];
+        {
+            let ta = row(regs, a);
+            for l in 0..32 {
+                td[l] = f(ta[l]);
+            }
+        }
+        *row_mut(regs, d) = td;
+    })
+}
+
+/// Register-tiled thunk for a 64-bit op over register pairs.
+#[inline]
+fn wide_thunk(
+    dlo: usize,
+    dhi: usize,
+    alo: usize,
+    ahi: usize,
+    blo: usize,
+    bhi: usize,
+    f: impl Fn(u64, u64) -> u64 + Send + Sync + 'static,
+) -> AluThunk {
+    Box::new(move |regs, _, _, _, _| {
+        let mut tdlo = [0u32; 32];
+        let mut tdhi = [0u32; 32];
+        {
+            let (talo, tahi) = (row(regs, alo), row(regs, ahi));
+            let (tblo, tbhi) = (row(regs, blo), row(regs, bhi));
+            for l in 0..32 {
+                let q = f(
+                    talo[l] as u64 | (tahi[l] as u64) << 32,
+                    tblo[l] as u64 | (tbhi[l] as u64) << 32,
+                );
+                tdlo[l] = q as u32;
+                tdhi[l] = (q >> 32) as u32;
+            }
+        }
+        *row_mut(regs, dlo) = tdlo;
+        *row_mut(regs, dhi) = tdhi;
+    })
+}
+
+/// Fused widening multiply: an adjacent `mul.lo`/`mul.hi` over one
+/// operand pair — the backbone of limb-product inner loops — computes the
+/// 64-bit product once and writes both halves. `lo_first` preserves
+/// program order for the (degenerate) case where both halves target the
+/// same row.
+#[inline]
+fn mul_pair_thunk(dlo: usize, dhi: usize, a: usize, b: usize, lo_first: bool) -> AluThunk {
+    Box::new(move |regs, _, _, _, _| {
+        let mut tlo = [0u32; 32];
+        let mut thi = [0u32; 32];
+        {
+            let (ta, tb) = (row(regs, a), row(regs, b));
+            for l in 0..32 {
+                let q = ta[l] as u64 * tb[l] as u64;
+                tlo[l] = q as u32;
+                thi[l] = (q >> 32) as u32;
+            }
+        }
+        if lo_first {
+            *row_mut(regs, dlo) = tlo;
+            *row_mut(regs, dhi) = thi;
+        } else {
+            *row_mut(regs, dhi) = thi;
+            *row_mut(regs, dlo) = tlo;
+        }
+    })
+}
+
+/// Register-tiled predicate-setting thunk, monomorphized per [`CmpOp`]
+/// (the comparison inlines instead of matching per lane).
+#[inline]
+fn cmp_thunk(
+    p: usize,
+    a: usize,
+    b: BSource,
+    f: impl Fn(u32, u32) -> bool + Send + Sync + 'static,
+) -> AluThunk {
+    Box::new(move |regs, preds, _, _, n| {
+        let mut fl = [0u32; 32];
+        let ta = row(regs, a);
+        match b {
+            BSource::Reg(b) => {
+                let tb = row(regs, b);
+                for l in 0..32 {
+                    fl[l] = f(ta[l], tb[l]) as u32;
+                }
+            }
+            BSource::Imm(imm) => {
+                for l in 0..32 {
+                    fl[l] = f(ta[l], imm) as u32;
+                }
+            }
+        }
+        let mask = full_mask(n);
+        preds[p] = (preds[p] & !mask) | (flag_bits(&fl) & mask);
+    })
+}
+
+/// A comparison's second operand: register row or immediate.
+#[derive(Clone, Copy)]
+enum BSource {
+    Reg(usize),
+    Imm(u32),
+}
+
+/// Dispatches a [`CmpOp`] to a monomorphized [`cmp_thunk`].
+fn lower_cmp(p: usize, a: usize, b: BSource, op: crate::ptx::CmpOp) -> AluThunk {
+    use crate::ptx::CmpOp;
+    match op {
+        CmpOp::Eq => cmp_thunk(p, a, b, |x, y| x == y),
+        CmpOp::Ne => cmp_thunk(p, a, b, |x, y| x != y),
+        CmpOp::Lt => cmp_thunk(p, a, b, |x, y| x < y),
+        CmpOp::Le => cmp_thunk(p, a, b, |x, y| x <= y),
+        CmpOp::Gt => cmp_thunk(p, a, b, |x, y| x > y),
+        CmpOp::Ge => cmp_thunk(p, a, b, |x, y| x >= y),
+    }
+}
+
+/// Lowers one register-only op to its monomorphized closure. `None` for
+/// ops that must stay interpreter steps (memory, params, `DivBig` — and
+/// the carry ops, which are handled by [`fuse_chain`]).
+fn lower_thunk(dop: &DOp) -> Option<AluThunk> {
+    use crate::ptx::Special;
+    Some(match *dop {
+        DOp::MovImm { d, imm } => {
+            let d = d as usize;
+            Box::new(move |regs, _, _, _, _| row_mut(regs, d).fill(imm))
+        }
+        DOp::Mov { d, a } => {
+            let (d, a) = (d as usize, a as usize);
+            Box::new(move |regs: &mut [u32], _, _, _, _| regs.copy_within(a..a + 32, d))
+        }
+        DOp::MovSpecial { d, s } => {
+            let d = d as usize;
+            match s {
+                Special::TidX => Box::new(move |regs, _, _, geom: &Geometry, _| {
+                    let base = geom.tid_base;
+                    for (l, r) in row_mut(regs, d).iter_mut().enumerate() {
+                        *r = base + l as u32;
+                    }
+                }),
+                Special::CtaIdX => Box::new(move |regs, _, _, geom: &Geometry, _| {
+                    row_mut(regs, d).fill(geom.ctaid)
+                }),
+                Special::NTidX => Box::new(move |regs, _, _, geom: &Geometry, _| {
+                    row_mut(regs, d).fill(geom.ntid)
+                }),
+                Special::NCtaIdX => Box::new(move |regs, _, _, geom: &Geometry, _| {
+                    row_mut(regs, d).fill(geom.nctaid)
+                }),
+            }
+        }
+        DOp::Add { d, a, b } => {
+            bin_thunk(d as usize, a as usize, b as usize, |x, y| x.wrapping_add(y))
+        }
+        DOp::Sub { d, a, b } => {
+            bin_thunk(d as usize, a as usize, b as usize, |x, y| x.wrapping_sub(y))
+        }
+        DOp::MulLo { d, a, b } => {
+            bin_thunk(d as usize, a as usize, b as usize, |x, y| x.wrapping_mul(y))
+        }
+        DOp::MulHi { d, a, b } => bin_thunk(d as usize, a as usize, b as usize, |x, y| {
+            ((x as u64 * y as u64) >> 32) as u32
+        }),
+        DOp::Div { d, a, b } => bin_thunk(d as usize, a as usize, b as usize, |x, y| {
+            x.checked_div(y).unwrap_or(u32::MAX)
+        }),
+        DOp::Rem { d, a, b } => bin_thunk(d as usize, a as usize, b as usize, |x, y| {
+            if y == 0 { x } else { x % y }
+        }),
+        DOp::Div64 { dlo, dhi, alo, ahi, blo, bhi } => wide_thunk(
+            dlo as usize,
+            dhi as usize,
+            alo as usize,
+            ahi as usize,
+            blo as usize,
+            bhi as usize,
+            |x, y| x.checked_div(y).unwrap_or(u64::MAX),
+        ),
+        DOp::Rem64 { dlo, dhi, alo, ahi, blo, bhi } => wide_thunk(
+            dlo as usize,
+            dhi as usize,
+            alo as usize,
+            ahi as usize,
+            blo as usize,
+            bhi as usize,
+            |x, y| if y == 0 { x } else { x % y },
+        ),
+        DOp::Bfind { d, a } => un_thunk(d as usize, a as usize, |v| {
+            if v == 0 { u32::MAX } else { 31 - v.leading_zeros() }
+        }),
+        DOp::Shl { d, a, b } => {
+            bin_thunk(d as usize, a as usize, b as usize, |x, y| x << (y & 31))
+        }
+        DOp::Shr { d, a, b } => {
+            bin_thunk(d as usize, a as usize, b as usize, |x, y| x >> (y & 31))
+        }
+        DOp::And { d, a, b } => bin_thunk(d as usize, a as usize, b as usize, |x, y| x & y),
+        DOp::Or { d, a, b } => bin_thunk(d as usize, a as usize, b as usize, |x, y| x | y),
+        DOp::Xor { d, a, b } => bin_thunk(d as usize, a as usize, b as usize, |x, y| x ^ y),
+        DOp::SetP { p, op, a, b } => {
+            lower_cmp(p as usize, a as usize, BSource::Reg(b as usize), op)
+        }
+        DOp::SetPImm { p, op, a, imm } => {
+            lower_cmp(p as usize, a as usize, BSource::Imm(imm), op)
+        }
+        DOp::PAnd { p, a, b } => {
+            let (p, a, b) = (p as usize, a as usize, b as usize);
+            Box::new(move |_, preds: &mut [u32], _, _, n| {
+                let mask = full_mask(n);
+                let computed = preds[a] & preds[b];
+                preds[p] = (preds[p] & !mask) | (computed & mask);
+            })
+        }
+        DOp::PNot { p, a } => {
+            let (p, a) = (p as usize, a as usize);
+            Box::new(move |_, preds: &mut [u32], _, _, n| {
+                let mask = full_mask(n);
+                let computed = !preds[a];
+                preds[p] = (preds[p] & !mask) | (computed & mask);
+            })
+        }
+        DOp::Selp { d, a, b, p } => {
+            let (d, a, b, p) = (d as usize, a as usize, b as usize, p as usize);
+            Box::new(move |regs: &mut [u32], preds: &mut [u32], _, _, _| {
+                let pbits = preds[p];
+                let mut td = [0u32; 32];
+                {
+                    let (ta, tb) = (row(regs, a), row(regs, b));
+                    for l in 0..32 {
+                        td[l] = if pbits >> l & 1 == 1 { ta[l] } else { tb[l] };
+                    }
+                }
+                *row_mut(regs, d) = td;
+            })
+        }
+        // Cost-only under sequential warps — same no-op as the interpreter.
+        DOp::BarSync => Box::new(move |_, _, _, _, _| {}),
+        DOp::ShflIdx { d, a, lane } => {
+            let (d, a, lane) = (d as usize, a as usize, lane as usize);
+            Box::new(move |regs, _, _, _, n| {
+                // Gather before scattering so reads see pre-shuffle values.
+                let mut vals = [0u32; 32];
+                for l in 0..n {
+                    let src_lane = regs[lane + l] as usize % n;
+                    vals[l] = regs[a + src_lane];
+                }
+                regs[d..d + n].copy_from_slice(&vals[..n]);
+            })
+        }
+        DOp::Ballot { d, p } => {
+            let (d, p) = (d as usize, p as usize);
+            Box::new(move |regs: &mut [u32], preds: &mut [u32], _, _, n| {
+                let ballot = preds[p] & full_mask(n);
+                regs[d..d + n].fill(ballot);
+            })
+        }
+        // Memory, params, and data-dependent-cost ops stay interpreted.
+        DOp::AddCC { .. }
+        | DOp::AddC { .. }
+        | DOp::SubCC { .. }
+        | DOp::SubC { .. }
+        | DOp::MadLoCC { .. }
+        | DOp::MadHiC { .. }
+        | DOp::LdGlobal { .. }
+        | DOp::LdGlobalU8 { .. }
+        | DOp::StGlobal { .. }
+        | DOp::StGlobalU8 { .. }
+        | DOp::LdShared { .. }
+        | DOp::StShared { .. }
+        | DOp::LdParam { .. }
+        | DOp::DivBig { .. } => return None,
+    })
+}
+
+/// Compiles a kernel's decoded program into closure chains, one
+/// [`SuperBlock`] per maximal straight-line run.
+pub(crate) fn compile(kernel: &Kernel) -> CompiledProgram {
+    let prog: &Arc<DecodedProgram> = kernel.decoded_program();
+    let ops = prog.ops();
+    let mut out = CompiledProgram {
+        blocks: (0..ops.len()).map(|_| None).collect(),
+        superblocks: 0,
+        fused_chains: 0,
+        fused_insts: 0,
+        alu_insts: 0,
+        interp_insts: 0,
+    };
+    let mut i = 0usize;
+    while i < ops.len() {
+        let Op::I { run_end, .. } = &ops[i] else {
+            i += 1;
+            continue;
+        };
+        let end = *run_end as usize;
+        let sb = lower_superblock(&ops[i..end], end as u32, &mut out);
+        out.blocks[i] = Some(sb);
+        out.superblocks += 1;
+        i = end;
+    }
+    out
+}
+
+/// Peephole over adjacent ops: `mul.lo` directly next to `mul.hi` on the
+/// same operand pair (either order; the product is commutative) shares a
+/// single widening multiply. The first destination must leave the second
+/// op's sources intact, or the fused read-once would diverge from the
+/// interpreter.
+fn fuse_mul_pair(first: &DOp, next: Option<&Op>) -> Option<AluThunk> {
+    let Some(Op::I { dop: second, .. }) = next else { return None };
+    let same_pair =
+        |a1: u32, b1: u32, a2: u32, b2: u32| (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2);
+    match (first, second) {
+        (&DOp::MulLo { d: d1, a, b }, &DOp::MulHi { d: d2, a: a2, b: b2 })
+            if same_pair(a, b, a2, b2) && d1 != a2 && d1 != b2 =>
+        {
+            Some(mul_pair_thunk(d1 as usize, d2 as usize, a as usize, b as usize, true))
+        }
+        (&DOp::MulHi { d: d1, a, b }, &DOp::MulLo { d: d2, a: a2, b: b2 })
+            if same_pair(a, b, a2, b2) && d1 != a2 && d1 != b2 =>
+        {
+            Some(mul_pair_thunk(d2 as usize, d1 as usize, a as usize, b as usize, false))
+        }
+        _ => None,
+    }
+}
+
+fn lower_superblock(run: &[Op], end: u32, tally: &mut CompiledProgram) -> SuperBlock {
+    let mut steps: Vec<Step> = Vec::new();
+    let mut thunks: Vec<AluThunk> = Vec::new();
+    let mut cycles: Vec<f64> = Vec::new();
+    let mut chain: Vec<CarryOp> = Vec::new();
+
+    fn flush_chain(
+        chain: &mut Vec<CarryOp>,
+        thunks: &mut Vec<AluThunk>,
+        tally: &mut CompiledProgram,
+    ) {
+        if chain.is_empty() {
+            return;
+        }
+        if chain.len() >= 2 {
+            tally.fused_chains += 1;
+            tally.fused_insts += chain.len();
+        }
+        thunks.push(fuse_chain(std::mem::take(chain)));
+    }
+
+    let mut i = 0;
+    while i < run.len() {
+        let Op::I { dop, cycles: cy, .. } = &run[i] else {
+            unreachable!("superblock runs are all I")
+        };
+        if let Some(cop) = carry_op(dop) {
+            chain.push(cop);
+            cycles.push(*cy);
+            tally.alu_insts += 1;
+            i += 1;
+            continue;
+        }
+        if let Some(thunk) = fuse_mul_pair(dop, run.get(i + 1)) {
+            let Some(Op::I { cycles: cy2, .. }) = run.get(i + 1) else { unreachable!() };
+            flush_chain(&mut chain, &mut thunks, tally);
+            thunks.push(thunk);
+            cycles.push(*cy);
+            cycles.push(*cy2);
+            tally.alu_insts += 2;
+            i += 2;
+            continue;
+        }
+        if let Some(thunk) = lower_thunk(dop) {
+            flush_chain(&mut chain, &mut thunks, tally);
+            thunks.push(thunk);
+            cycles.push(*cy);
+            tally.alu_insts += 1;
+            i += 1;
+            continue;
+        }
+        // Interpreter step: flush the pending register-only segment first.
+        flush_chain(&mut chain, &mut thunks, tally);
+        if !cycles.is_empty() {
+            steps.push(Step::Alu {
+                thunks: std::mem::take(&mut thunks).into_boxed_slice(),
+                cycles: std::mem::take(&mut cycles).into_boxed_slice(),
+            });
+        }
+        steps.push(Step::Interp { dop: dop.clone(), cycles: *cy });
+        tally.interp_insts += 1;
+        i += 1;
+    }
+    flush_chain(&mut chain, &mut thunks, tally);
+    if !cycles.is_empty() {
+        steps.push(Step::Alu {
+            thunks: thunks.into_boxed_slice(),
+            cycles: cycles.into_boxed_slice(),
+        });
+    }
+    SuperBlock { steps: steps.into_boxed_slice(), end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptx::{CmpOp, Inst as I, KernelBuilder, Special};
+
+    fn carry_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new();
+        let t = kb.reg();
+        kb.push(I::MovSpecial { d: t, s: Special::TidX });
+        let r = kb.regs(4);
+        kb.push(I::MovImm { d: r[0], imm: 7 });
+        kb.push(I::AddCC { d: r[1], a: r[0], b: t });
+        kb.push(I::AddC { d: r[2], a: r[1], b: r[0] });
+        kb.push(I::MadLoCC { d: r[1], a: r[1], b: r[2], c: r[0] });
+        kb.push(I::MadHiC { d: r[2], a: r[1], b: r[2], c: r[0] });
+        kb.push(I::StGlobal { buf: 0, addr: r[0], src: r[1] });
+        let p = kb.pred();
+        kb.push(I::SetPImm { p, op: CmpOp::Lt, a: t, imm: 4 });
+        let then_ = kb.block(|b| b.push(I::Add { d: r[3], a: r[3], b: t }));
+        kb.if_(p, then_, vec![]);
+        kb.finish("carry_chain", 8)
+    }
+
+    #[test]
+    fn compile_fuses_carry_chains_and_keeps_memory_interpreted() {
+        let kernel = carry_kernel();
+        let (cp, built) = kernel.tier.get_or_compile(&kernel);
+        assert!(built, "first call must build");
+        // Two superblocks: the straight-line prefix (split around the
+        // store) and the If body.
+        assert_eq!(cp.superblock_count(), kernel.decoded_program().superblock_count());
+        assert_eq!(cp.fused_chain_count(), 1, "the 4-op carry chain fuses once");
+        assert_eq!(cp.fused_inst_count(), 4);
+        assert_eq!(cp.interp_inst_count(), 1, "only the store stays interpreted");
+        let (cp2, built2) = kernel.tier.get_or_compile(&kernel);
+        assert!(!built2, "second call is a cache hit");
+        assert!(Arc::ptr_eq(cp, cp2));
+    }
+
+    #[test]
+    fn tier_cache_clones_share_the_built_artifact() {
+        let kernel = carry_kernel();
+        let (p1, _) = kernel.tier.get_or_compile(&kernel);
+        let p1 = Arc::clone(p1);
+        let clone = kernel.clone();
+        let (p2, built) = clone.tier.get_or_compile(&clone);
+        assert!(!built, "clones share the compiled artifact");
+        assert!(Arc::ptr_eq(&p1, p2));
+    }
+
+    #[test]
+    fn launch_counter_survives_clone_and_counts_up() {
+        let kernel = carry_kernel();
+        assert_eq!(kernel.tier.record_launch(), 1);
+        assert_eq!(kernel.tier.record_launch(), 2);
+        let clone = kernel.clone();
+        assert_eq!(clone.tier.record_launch(), 3);
+        // The original keeps its own counter.
+        assert_eq!(kernel.tier.record_launch(), 3);
+    }
+
+    #[test]
+    fn tier_counter_arithmetic() {
+        let mut t = TierCounters::default();
+        t += TierCounters { tree: 1, decoded: 2, compiled: 3, promotions: 1 };
+        t += TierCounters { compiled: 1, ..Default::default() };
+        assert_eq!(t.total(), 7);
+        assert_eq!(t.compiled, 4);
+        assert_eq!(t.promotions, 1);
+    }
+}

@@ -27,9 +27,9 @@
 
 use crate::exec::{
     full_mask, note_transactions, shared_store, shared_word, ExecStats, Geometry, LaunchConfig,
-    MemAccess, SimError,
+    MemAccess, SectorSeen, SimError,
 };
-use crate::par::{env_parse, FxHashSet};
+use crate::par::env_parse;
 use crate::ptx::{issue_cycles, CmpOp, Inst, Kernel, Special, Stmt};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -42,20 +42,28 @@ pub enum ExecBackend {
     Tree,
     /// The pre-decoded flat-program interpreter (fast path).
     Decoded,
-    /// Decoded whenever the kernel decodes (they all do today), tree
-    /// otherwise. Combined with `SimParallelism::Auto`, small launches
-    /// also stay serial (see `exec::AUTO_MIN_THREADS`), so they stop
-    /// paying thread-spawn overhead.
+    /// The closure-compiled tier (see [`crate::compiled`]), forced from
+    /// the first launch: full-mask superblocks run compiled closures,
+    /// divergent regions fall back to the decoded interpreter.
+    Compiled,
+    /// Tiered promotion: launches start on the decoded interpreter and
+    /// promote to the compiled tier once the kernel's launch count
+    /// exceeds [`crate::compiled::tier_threshold`] (so cold kernels never
+    /// pay closure-compile cost). Combined with `SimParallelism::Auto`,
+    /// small launches also stay serial (see `exec::AUTO_MIN_THREADS`),
+    /// so they stop paying thread-spawn overhead.
     #[default]
     Auto,
 }
 
 impl ExecBackend {
-    /// Parses `tree`, `decoded`, or `auto` (CLI flags and `UP_SIM_EXEC`).
+    /// Parses `tree`, `decoded`, `compiled`, or `auto` (CLI flags and
+    /// `UP_SIM_EXEC`).
     pub fn parse(s: &str) -> Option<ExecBackend> {
         match s {
             "tree" => Some(ExecBackend::Tree),
             "decoded" => Some(ExecBackend::Decoded),
+            "compiled" => Some(ExecBackend::Compiled),
             "auto" => Some(ExecBackend::Auto),
             _ => None,
         }
@@ -66,7 +74,9 @@ impl ExecBackend {
     /// `UP_SIM_THREADS`). `None` when unset or invalid.
     pub fn from_env() -> Option<ExecBackend> {
         static CACHE: OnceLock<Option<ExecBackend>> = OnceLock::new();
-        *CACHE.get_or_init(|| env_parse("UP_SIM_EXEC", "tree | decoded | auto", ExecBackend::parse))
+        *CACHE.get_or_init(|| {
+            env_parse("UP_SIM_EXEC", "tree | decoded | compiled | auto", ExecBackend::parse)
+        })
     }
 
     /// `UP_SIM_EXEC` if set, else [`ExecBackend::Auto`].
@@ -85,6 +95,7 @@ impl std::fmt::Display for ExecBackend {
         match self {
             ExecBackend::Tree => write!(f, "tree"),
             ExecBackend::Decoded => write!(f, "decoded"),
+            ExecBackend::Compiled => write!(f, "compiled"),
             ExecBackend::Auto => write!(f, "auto"),
         }
     }
@@ -99,7 +110,7 @@ const LANES: usize = 32;
 /// structure-of-arrays offsets (`reg * 32`) so the interpreter indexes the
 /// flat register file directly, with no per-lane enum match.
 #[derive(Clone, Debug)]
-enum DOp {
+pub(crate) enum DOp {
     MovImm { d: u32, imm: u32 },
     Mov { d: u32, a: u32 },
     MovSpecial { d: u32, s: Special },
@@ -146,7 +157,7 @@ enum DOp {
 /// them, which is exactly how the tree-walker's `if mask == 0 {{ return }}`
 /// early-outs behave (no stats, no effects).
 #[derive(Clone, Debug)]
-enum Op {
+pub(crate) enum Op {
     /// A plain instruction: the decoded op, its memoized issue cycles,
     /// and the end (exclusive) of the maximal straight-line run of `I`
     /// ops it belongs to — the static superblock bound.
@@ -203,6 +214,11 @@ impl DecodedProgram {
     /// is converged.
     pub fn superblock_count(&self) -> usize {
         self.superblocks
+    }
+
+    /// The flat op array — the closure compiler's input.
+    pub(crate) fn ops(&self) -> &[Op] {
+        &self.ops
     }
 }
 
@@ -383,15 +399,15 @@ enum Frame {
 /// Warp state in structure-of-arrays layout: contiguous lane rows per
 /// register (`regs[r*32 + l]`), predicate registers as 32-bit lane masks,
 /// and the carry flags as one lane mask.
-struct DCtx<'a, M: MemAccess> {
-    regs: Vec<u32>,
-    preds: Vec<u32>,
-    carry: u32,
+pub(crate) struct DCtx<'a, M: MemAccess> {
+    pub(crate) regs: Vec<u32>,
+    pub(crate) preds: Vec<u32>,
+    pub(crate) carry: u32,
     smem: Vec<u8>,
     mem: &'a mut M,
     params: &'a [u32],
-    stats: ExecStats,
-    seen: FxHashSet<(u8, u32)>,
+    pub(crate) stats: ExecStats,
+    seen: SectorSeen,
     kernel_name: &'a str,
 }
 
@@ -416,9 +432,13 @@ fn lanes_apply<const FULL: bool>(mask: u32, lanes_n: usize, mut f: impl FnMut(us
 /// Runs one block's warps through the decoded program. Mirrors
 /// `exec::run_block` exactly: warps sequential, shared memory per block,
 /// sector set cleared per warp, stats accumulated per instruction in
-/// program order.
+/// program order. With `compiled` set (the tier-3 path), full-mask
+/// superblocks execute the closure-compiled steps instead of the
+/// per-instruction fast path — bit-identical either way.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_block_decoded<M: MemAccess>(
     prog: &DecodedProgram,
+    compiled: Option<&crate::compiled::CompiledProgram>,
     kernel: &Kernel,
     cfg: LaunchConfig,
     block: u32,
@@ -434,7 +454,7 @@ pub(crate) fn run_block_decoded<M: MemAccess>(
         mem,
         params,
         stats: ExecStats { sample_scale: 1.0, ..Default::default() },
-        seen: FxHashSet::default(),
+        seen: SectorSeen::new(),
         kernel_name: &kernel.name,
     };
     let threads = cfg.block_threads as usize;
@@ -452,7 +472,7 @@ pub(crate) fn run_block_decoded<M: MemAccess>(
             ntid: cfg.block_threads,
             nctaid: cfg.grid_blocks,
         };
-        run_warp(prog, &mut c, &mut frames, &geom, lanes_n)?;
+        run_warp(prog, compiled, &mut c, &mut frames, &geom, lanes_n)?;
         c.stats.warps += 1;
     }
     c.stats.blocks += 1;
@@ -464,6 +484,7 @@ pub(crate) fn run_block_decoded<M: MemAccess>(
 /// tree-walker's zero-mask early-outs (which contribute no stats at all).
 fn run_warp<M: MemAccess>(
     prog: &DecodedProgram,
+    compiled: Option<&crate::compiled::CompiledProgram>,
     c: &mut DCtx<'_, M>,
     frames: &mut Vec<Frame>,
     geom: &Geometry,
@@ -477,6 +498,17 @@ fn run_warp<M: MemAccess>(
         match &ops[pc] {
             Op::I { dop, cycles, run_end } => {
                 if mask == full {
+                    // A full mask at an `I` op is always a run *start*
+                    // (masks only change at control ops, and the fast
+                    // paths below consume whole runs), so the compiled
+                    // tier can take over the entire superblock here.
+                    if let Some(cp) = compiled {
+                        if let Some(sb) = cp.block_at(pc) {
+                            crate::compiled::run_superblock(sb, c, geom, lanes_n, full)?;
+                            pc = sb.end as usize;
+                            continue;
+                        }
+                    }
                     // Superblock fast path: the whole straight-line run
                     // executes converged, with no mask or control tests.
                     let end = *run_end as usize;
@@ -571,7 +603,7 @@ fn run_warp<M: MemAccess>(
 /// lane-inner: the opcode dispatch happens once per warp, and each arm
 /// runs a tight lane loop over contiguous SoA rows.
 #[allow(clippy::needless_range_loop)]
-fn exec_dop<const FULL: bool, M: MemAccess>(
+pub(crate) fn exec_dop<const FULL: bool, M: MemAccess>(
     c: &mut DCtx<'_, M>,
     dop: &DOp,
     geom: &Geometry,
@@ -1249,9 +1281,9 @@ mod tests {
 
     /// The tentpole differential guarantee: for random kernels covering
     /// divergence, loops, shared memory, byte stores, carry chains, and
-    /// warp ops, the decoded interpreter is bit-identical to the tree
-    /// walker — memory, stats, and errors — under both serial and
-    /// threaded execution.
+    /// warp ops, the decoded interpreter *and* the closure-compiled tier
+    /// are bit-identical to the tree walker — memory, stats, and errors —
+    /// under both serial and threaded execution.
     #[test]
     fn fuzz_decoded_matches_tree_bit_exact() {
         let mut rng = Rng(0x5eed_cafe_f00d_0001);
@@ -1269,6 +1301,8 @@ mod tests {
                 (ExecBackend::Decoded, SimParallelism::Serial),
                 (ExecBackend::Tree, SimParallelism::Threads(4)),
                 (ExecBackend::Decoded, SimParallelism::Threads(4)),
+                (ExecBackend::Compiled, SimParallelism::Serial),
+                (ExecBackend::Compiled, SimParallelism::Threads(4)),
             ] {
                 let (res, mem) = run_mode(&kernel, &base, backend, par);
                 assert_eq!(
@@ -1291,7 +1325,8 @@ mod tests {
     }
 
     /// Error variants surface identically (not just "both failed"): drive
-    /// each injected class explicitly through both backends.
+    /// each injected class (OOB / MaxIter / DivByZero, raised
+    /// mid-superblock) explicitly through the decoded and compiled tiers.
     #[test]
     fn fuzz_error_surfaces_match_by_class() {
         let mut rng = Rng(0xdead_beef_0bad_cafe);
@@ -1306,6 +1341,8 @@ mod tests {
             for (backend, par) in [
                 (ExecBackend::Decoded, SimParallelism::Serial),
                 (ExecBackend::Decoded, SimParallelism::Threads(4)),
+                (ExecBackend::Compiled, SimParallelism::Serial),
+                (ExecBackend::Compiled, SimParallelism::Threads(4)),
             ] {
                 let (res, _) = run_mode(&kernel, &base, backend, par);
                 assert_eq!(res, Err(oracle_err.clone()), "kernel {idx} under {backend}/{par}");
@@ -1322,12 +1359,15 @@ mod tests {
     fn backend_knob_parses() {
         assert_eq!(ExecBackend::parse("tree"), Some(ExecBackend::Tree));
         assert_eq!(ExecBackend::parse("decoded"), Some(ExecBackend::Decoded));
+        assert_eq!(ExecBackend::parse("compiled"), Some(ExecBackend::Compiled));
         assert_eq!(ExecBackend::parse("auto"), Some(ExecBackend::Auto));
         assert_eq!(ExecBackend::parse("fast"), None);
         assert!(ExecBackend::Auto.uses_decoded());
         assert!(ExecBackend::Decoded.uses_decoded());
+        assert!(ExecBackend::Compiled.uses_decoded());
         assert!(!ExecBackend::Tree.uses_decoded());
         assert_eq!(ExecBackend::Decoded.to_string(), "decoded");
+        assert_eq!(ExecBackend::Compiled.to_string(), "compiled");
     }
 
     #[test]

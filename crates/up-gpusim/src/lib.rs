@@ -12,6 +12,7 @@
 //! launch-DAG executor + modeled overlap timeline ([`pipeline`]).
 
 pub mod cgbn;
+pub mod compiled;
 pub mod decoded;
 pub mod disasm;
 pub mod cost;
@@ -24,6 +25,10 @@ pub mod ptx;
 pub mod reduce;
 pub mod stream;
 
+pub use compiled::{
+    compile_counters, last_launch_tiers, tier_counters, tier_threshold, CompiledProgram, ExecTier,
+    TierCounters,
+};
 pub use decoded::{decode_counters, DecodedProgram, ExecBackend};
 pub use device::DeviceConfig;
 pub use exec::{

@@ -277,6 +277,43 @@ mod tests {
             parse_env_value("UP_PIPELINE", "off | on | <depth>", Some("bogus"), PipelineMode::parse),
             None
         );
+        // UP_SIM_EXEC: an unknown backend warns and falls back (the
+        // `ExecBackend::env_default` caller then uses `auto`), instead of
+        // being silently indistinguishable from "unset".
+        use crate::decoded::ExecBackend;
+        assert_eq!(
+            parse_env_value(
+                "UP_SIM_EXEC",
+                "tree | decoded | compiled | auto",
+                Some("compiled"),
+                ExecBackend::parse
+            ),
+            Some(ExecBackend::Compiled)
+        );
+        assert_eq!(
+            parse_env_value(
+                "UP_SIM_EXEC",
+                "tree | decoded | compiled | auto",
+                Some("turbo"),
+                ExecBackend::parse
+            ),
+            None
+        );
+        // UP_SIM_TIER_THRESHOLD rides the same warn-once framework.
+        let parse_threshold = |v: &str| v.parse::<u64>().ok();
+        assert_eq!(
+            parse_env_value("UP_SIM_TIER_THRESHOLD", "a launch count", Some("5"), parse_threshold),
+            Some(5)
+        );
+        assert_eq!(
+            parse_env_value(
+                "UP_SIM_TIER_THRESHOLD",
+                "a launch count",
+                Some("soon"),
+                parse_threshold
+            ),
+            None
+        );
     }
 
     #[test]

@@ -218,6 +218,10 @@ pub struct Kernel {
     /// Lazily-built decoded program for the flat interpreter (clones share
     /// the built program; see [`crate::decoded::DecodedProgram`]).
     pub(crate) decoded: crate::decoded::DecodedCache,
+    /// Compiled-tier state: the per-kernel launch counter driving tier
+    /// promotion and the lazily-built closure-compiled program (clones
+    /// share a built artifact; see [`crate::compiled`]).
+    pub(crate) tier: crate::compiled::TierCache,
 }
 
 impl Kernel {
@@ -234,6 +238,21 @@ impl Kernel {
     /// in the JIT cache behind `Arc`) share the same program.
     pub fn decoded_program(&self) -> &std::sync::Arc<crate::decoded::DecodedProgram> {
         self.decoded.get_or_decode(self)
+    }
+
+    /// The kernel's closure-compiled program (tier 3), built on first use
+    /// and cached on the kernel. Under `ExecBackend::Auto` this is only
+    /// called once the launch count crosses the promotion threshold, so
+    /// cold kernels never pay compile cost; `ExecBackend::Compiled`
+    /// forces it on the first launch.
+    pub fn compiled_program(&self) -> &std::sync::Arc<crate::compiled::CompiledProgram> {
+        self.tier.get_or_compile(self).0
+    }
+
+    /// Whether this kernel has paid closure-compile cost yet (i.e. its
+    /// compiled-tier artifact exists).
+    pub fn compiled_tier_built(&self) -> bool {
+        self.tier.built()
     }
 }
 
@@ -360,6 +379,7 @@ impl KernelBuilder {
             smem_bytes: self.smem_bytes,
             hw_regs_per_thread,
             decoded: Default::default(),
+            tier: Default::default(),
         }
     }
 }

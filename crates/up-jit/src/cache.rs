@@ -332,6 +332,14 @@ impl JitEngine {
                     // program (cached on the kernel), so decode happens
                     // once here at compile time and every cache hit —
                     // local or via the shared server cache — reuses it.
+                    // The closure-compiled tier is deliberately *not*
+                    // built here: cold kernels stay on the decoded
+                    // interpreter, and tier promotion (launch-count
+                    // crossing `up_gpusim::tier_threshold`) builds the
+                    // artifact into the same cached kernel's
+                    // `OnceLock<Arc>`, so one promotion serves every
+                    // session that hits this cache entry — including
+                    // arena rendezvous winners and waiters.
                     modeled_compile_time_s(compiled.kernel.static_inst_count())
                 };
                 if !cached && self.emulate_nvcc && modeled > 0.0 {
@@ -452,6 +460,29 @@ mod tests {
         // (Build/hit counters are process-global, so only pointer
         // identity is asserted here — counts would race other tests.)
         assert!(Arc::ptr_eq(k1.kernel.decoded_program(), k2.kernel.decoded_program()));
+    }
+
+    #[test]
+    fn cache_hits_share_the_compiled_tier_artifact() {
+        // Tier promotion builds the closure-compiled program into the
+        // cached kernel's `OnceLock<Arc>`; because cache hits (and arena
+        // rendezvous) hand out the same `Arc<CompiledExpr>`, one
+        // promotion must serve every session. Forcing the build through
+        // either handle must yield pointer-identical artifacts.
+        let jit = JitEngine::with_defaults();
+        let e = Expr::col(0, ty(6, 2), "a").add(Expr::col(1, ty(6, 2), "b"));
+        let (c1, _) = jit.compile(&e);
+        let (c2, _) = jit.compile(&e);
+        let (Compiled::Kernel(k1), Compiled::Kernel(k2)) = (c1, c2) else {
+            panic!("expected kernels");
+        };
+        // JIT compilation must NOT eagerly build the closure tier: cold
+        // kernels stay on the decoded interpreter.
+        assert!(!k1.kernel.compiled_tier_built());
+        let p1 = k1.kernel.compiled_program().clone();
+        // The build through k1 is visible through k2 — shared artifact.
+        assert!(k2.kernel.compiled_tier_built());
+        assert!(Arc::ptr_eq(&p1, k2.kernel.compiled_program()));
     }
 
     #[test]

@@ -302,6 +302,13 @@ pub struct MetricsSnapshot {
     pub cache: CacheStats,
     /// Simulated GPU stream scheduler statistics.
     pub streams: StreamStats,
+    /// Process-wide simulator launch counts per execution tier (tree /
+    /// decoded / closure-compiled) plus decoded→compiled promotion
+    /// events — the server-level view of `UP_SIM_EXEC=auto` tiering.
+    pub exec_tiers: up_gpusim::TierCounters,
+    /// Closure-tier compile builds and cache hits (a hit is a launch
+    /// reusing an artifact another launch or session already built).
+    pub tier_compiles: (u64, u64),
     /// Modeled SM-seconds of kernel execution.
     pub gpu_kernel_s: f64,
     /// Modeled stream queueing delay accumulated.
@@ -401,6 +408,17 @@ impl MetricsSnapshot {
             s.utilization * 100.0,
             fmt_s(self.gpu_kernel_s),
             fmt_s(self.gpu_queue_s)
+        );
+        let t = &self.exec_tiers;
+        let _ = writeln!(
+            o,
+            "exec tiers:  {} tree · {} decoded · {} compiled ({} promotions, {} builds / {} shared hits)",
+            t.tree,
+            t.decoded,
+            t.compiled,
+            t.promotions,
+            self.tier_compiles.0,
+            self.tier_compiles.1
         );
         let _ = writeln!(
             o,

@@ -81,9 +81,12 @@ pub struct ServerConfig {
     /// Concurrent NVCC compile lanes of the arena's prefetch pool
     /// (ignored when [`arena`](ServerConfig::arena) is off).
     pub compile_lanes: usize,
-    /// Functional-interpreter backend for kernels launched by queries
-    /// (tree walker vs. pre-decoded flat programs; results bit-identical
-    /// either way). Defaults from `UP_SIM_EXEC`, otherwise auto.
+    /// Functional-interpreter backend for kernels launched by queries:
+    /// tree walker, pre-decoded flat programs, closure-compiled
+    /// superblocks, or `auto` = count-based promotion from decoded to
+    /// compiled once a kernel crosses `UP_SIM_TIER_THRESHOLD` launches
+    /// (results bit-identical in every mode). Defaults from
+    /// `UP_SIM_EXEC`, otherwise auto.
     pub exec_backend: up_gpusim::ExecBackend,
 }
 
@@ -578,6 +581,11 @@ impl UpServer {
         snap.queue_capacity = self.inner.queue.capacity();
         snap.queue_max_depth = self.inner.queue.max_depth();
         snap.cache = self.inner.jit_cache.stats();
+        // Process-wide by design: one simulator substrate serves every
+        // session, and tier promotion is a property of the shared kernel
+        // cache, not of any single query.
+        snap.exec_tiers = up_gpusim::tier_counters();
+        snap.tier_compiles = up_gpusim::compile_counters();
         snap.streams = self.inner.streams.lock().expect("streams poisoned").stats();
         if let Some(arena) = &self.inner.arena {
             let a = arena.stats();
