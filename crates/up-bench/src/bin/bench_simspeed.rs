@@ -14,6 +14,10 @@
 //! - **fig13 shape** (TPI=32-class instance sizes): `a + b` and `a × b`
 //!   at LEN ≥ 8 (precisions 76 and 153) — long multi-limb inner loops
 //!   where block-parallel execution pays off.
+//! - **fig10 shape** (`codec_align_len8/16`): adds with mismatched
+//!   scales, forcing the §III-D alignment codec — kernels dominated by
+//!   byte-granular `ld.global.u8`/`st.global.u8` runs, the target of the
+//!   compiled tier's lane-affine mem-thunk fast path.
 //!
 //! Every run is checked against the tree-walker serial reference:
 //! byte-identical output buffers, `ExecStats` equal field-for-field, and
@@ -26,8 +30,9 @@
 //! `threads(N)` is a demand, not a hint), but no speedup is expected;
 //! the speedup targets apply to multi-core machines.
 //! `--assert-tiering` exits non-zero unless the compiled tier beats the
-//! decoded interpreter on the hot carry-chain (fig13 mul) serial cells —
-//! the CI guard for tier-promotion regressions.
+//! decoded interpreter on the hot serial cells — the carry-chain (fig13
+//! mul) and byte-codec (`codec_align_*`) workloads — the CI guard for
+//! tier-promotion and mem-lowering regressions.
 //!
 //! The `auto` rows exercise count-based promotion live: each workload
 //! reuses one kernel, so the first `UP_SIM_TIER_THRESHOLD` auto launches
@@ -86,6 +91,24 @@ fn workloads() -> Vec<Workload> {
             },
             expr: col(0, t_mul, "a").mul(col(1, t_mul, "b")),
             col_tys: vec![t_mul, t_mul],
+        });
+    }
+
+    // fig10 shape: byte-dense codec cells. Mismatched scales force the
+    // §III-D alignment codec, so the generated kernels are long runs of
+    // byte loads/stores at lane-affine addresses — the cells that measure
+    // the compiled tier's warp-wide mem-thunk fast path.
+    for &len in &[8usize, 16] {
+        let p = precision_for_len(len);
+        let t_a = DecimalType::new_unchecked(p - 1, 1);
+        let t_b = DecimalType::new_unchecked(p - 1, 6);
+        out.push(Workload {
+            name: match len {
+                8 => "codec_align_len8",
+                _ => "codec_align_len16",
+            },
+            expr: col(0, t_a, "a").add(col(1, t_b, "b")),
+            col_tys: vec![t_a, t_b],
         });
     }
     out
@@ -264,7 +287,7 @@ fn main() {
                 });
             }
         }
-        if w.name.contains("mul") {
+        if w.name.contains("mul") || w.name.starts_with("codec_") {
             let tps_of = |b: &str| {
                 serial_tps_by_backend
                     .iter()
@@ -296,7 +319,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"bench\":\"simspeed\",\"schema\":\"backend-x-parallelism-v3\",\
+        "{{\"bench\":\"simspeed\",\"schema\":\"backend-x-parallelism-v4\",\
          \"host_threads\":{},\"quick\":{},\
          \"tuples_per_run\":{},\"reps\":{},\"tier_threshold\":{},\"workloads\":[{}]}}\n",
         host,
@@ -314,7 +337,7 @@ fn main() {
 
     // The tier-promotion payoff summary (and CI guard): the closure tier
     // must not lose to the interpreter it was promoted from on the hot
-    // carry-chain kernels.
+    // carry-chain and byte-codec kernels.
     let mut tier_ok = true;
     for (name, decoded, compiled) in &tier_cells {
         let ratio = compiled / decoded;
@@ -325,7 +348,7 @@ fn main() {
         tier_ok &= ratio >= 1.0;
     }
     if assert_tiering {
-        assert!(tier_ok, "compiled tier lost to decoded on a hot carry-chain cell");
+        assert!(tier_ok, "compiled tier lost to decoded on a hot carry-chain or codec cell");
         println!("tiering assertion passed");
     }
 }

@@ -42,6 +42,10 @@ fn main() {
                 dram_bytes: run.stats.dram_bytes,
                 divergent_branches: run.stats.divergent_branches,
                 regs_per_thread: run.hw_regs,
+                lowered_superblocks: 0,
+                fallback_superblocks: 0,
+                lowered_mem_thunks: 0,
+                fallback_interp_insts: 0,
             };
             print_row(
                 &[

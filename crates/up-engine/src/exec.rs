@@ -178,9 +178,11 @@ pub struct QueryResult {
     /// GPU kernels launched.
     pub kernels: usize,
     /// Which simulator tier each launch executed on (tree / decoded /
-    /// closure-compiled), plus decoded→compiled promotion events. Purely
-    /// observational: rows, `modeled`, and stats are bit-identical across
-    /// tiers, so this never feeds back into results.
+    /// closure-compiled), plus decoded→compiled promotion events and,
+    /// for compiled launches, the lowered/fallback superblock and
+    /// mem-thunk shape of the programs that ran. Purely observational:
+    /// rows, `modeled`, and stats are bit-identical across tiers, so
+    /// this never feeds back into results.
     pub tiers: up_gpusim::TierCounters,
     /// The modeled pipeline timeline, when the plan ran through the
     /// launch DAG (`None` under [`PipelineMode::Off`] or when the plan

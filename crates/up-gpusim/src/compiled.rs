@@ -21,9 +21,22 @@
 //!   line segment; the f64 `warp_issue_cycles` additions are replayed
 //!   element-by-element in original program order, so the non-associative
 //!   f64 sum stays bit-identical to the interpreter's.
-//! * Ops that touch memory, params, or add data-dependent cycles
-//!   (`DivBig`) stay interpreter steps (`Step::Interp`) executed by the
-//!   *same* `exec_dop` the decoded tier uses, frame-for-frame.
+//! * Global-memory ops (`ld`/`st`, word and byte) lower to first-class
+//!   `Step::Mem` thunks monomorphized over [`MemAccess`] — one
+//!   instantiation per backend (`GlobalMem` under serial execution,
+//!   `JournaledMem` under threads). A flow-sensitive affine-address
+//!   analysis recognizes the `base + gid·stride` shape every byte codec
+//!   kernel emits; when the hint re-verifies against the live registers,
+//!   the thunk does one warp-wide bounds check plus one `SectorSeen`
+//!   coalescing pass and moves all 32 lanes with bulk strided copies
+//!   (`load_*_affine`/`store_*_affine`) instead of per-lane per-byte
+//!   calls. Stats, coalescing state, and the f64 `warp_issue_cycles`
+//!   stream are replayed in program order, so the fast path is
+//!   bit-identical to the interpreter; non-affine or out-of-bounds
+//!   warps fall back to the interpreter's exact per-lane loop.
+//! * Ops that touch shared memory or params, or add data-dependent
+//!   cycles (`DivBig`), stay interpreter steps (`Step::Interp`) executed
+//!   by the *same* `exec_dop` the decoded tier uses, frame-for-frame.
 //!
 //! Divergent regions and control flow never reach this module: the
 //! decoded interpreter's `run_warp` only enters a compiled superblock
@@ -41,10 +54,10 @@
 //! clones, the `up-jit` kernel cache, and the cross-query arena, so one
 //! compile serves every session that hits the same cached kernel.
 
-use crate::decoded::{DCtx, DOp, DecodedProgram, Op};
-use crate::exec::{full_mask, Geometry, MemAccess, SimError};
+use crate::decoded::{DCtx, DOp, DecodedProgram, MemOpKind, Op};
+use crate::exec::{full_mask, note_transactions, Geometry, MemAccess, SimError};
 use crate::par::env_parse;
-use crate::ptx::Kernel;
+use crate::ptx::{AddrForm, Kernel};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -59,10 +72,31 @@ enum Step {
     /// batch (`cycles` replayed in order), then the closures run. A
     /// fused carry chain is one thunk covering several `cycles` entries.
     Alu { thunks: Box<[AluThunk]>, cycles: Box<[f64]> },
-    /// A single instruction that touches memory/params or contributes
-    /// data-dependent cycles — executed by the decoded tier's `exec_dop`
-    /// with exactly the interpreter's per-instruction stats.
+    /// A first-class lowered global-memory instruction, executed by
+    /// [`exec_mem`] monomorphized over the launch's `MemAccess` backend.
+    Mem(MemStep),
+    /// A single instruction that touches shared memory/params or
+    /// contributes data-dependent cycles — executed by the decoded tier's
+    /// `exec_dop` with exactly the interpreter's per-instruction stats.
     Interp { dop: DOp, cycles: f64 },
+}
+
+/// One lowered global-memory instruction: operand rows pre-resolved to
+/// SoA offsets, plus the static affine-address hint. A plain descriptor
+/// rather than a closure because the compiled program is shared across
+/// both `MemAccess` monomorphizations — the dispatch happens in
+/// [`exec_mem`], which *is* monomorphized per backend.
+struct MemStep {
+    kind: MemOpKind,
+    buf: u8,
+    addr: u32,
+    data: u32,
+    /// Lane-affine stride from [`analyze_addr_forms`]; `exec_mem`
+    /// re-verifies it against the live address row before taking the
+    /// bulk path, so a stale or unsound hint can only cost speed, never
+    /// correctness.
+    affine: Option<u32>,
+    cycles: f64,
 }
 
 /// A compiled superblock: the steps of one maximal straight-line run plus
@@ -83,6 +117,9 @@ pub struct CompiledProgram {
     fused_insts: usize,
     alu_insts: usize,
     interp_insts: usize,
+    mem_insts: usize,
+    affine_mem_insts: usize,
+    lowered_superblocks: usize,
 }
 
 impl CompiledProgram {
@@ -112,9 +149,32 @@ impl CompiledProgram {
         self.alu_insts
     }
 
-    /// Instructions kept as interpreter steps (memory/params/`DivBig`).
+    /// Instructions kept as interpreter fallback steps (shared memory,
+    /// params, `DivBig`).
     pub fn interp_inst_count(&self) -> usize {
         self.interp_insts
+    }
+
+    /// Global-memory instructions lowered to first-class mem thunks.
+    pub fn mem_inst_count(&self) -> usize {
+        self.mem_insts
+    }
+
+    /// Lowered mem thunks carrying a lane-affine address hint (eligible
+    /// for the warp-wide bulk fast path).
+    pub fn affine_mem_inst_count(&self) -> usize {
+        self.affine_mem_insts
+    }
+
+    /// Superblocks fully lowered to closures and mem thunks — no
+    /// interpreter fallback steps at all.
+    pub fn lowered_superblock_count(&self) -> usize {
+        self.lowered_superblocks
+    }
+
+    /// Superblocks containing at least one interpreter fallback step.
+    pub fn fallback_superblock_count(&self) -> usize {
+        self.superblocks - self.lowered_superblocks
     }
 }
 
@@ -122,8 +182,14 @@ impl std::fmt::Debug for CompiledProgram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "CompiledProgram({} superblocks, {} alu + {} interp insts, {} fused chains)",
-            self.superblocks, self.alu_insts, self.interp_insts, self.fused_chains
+            "CompiledProgram({} superblocks ({} lowered), {} alu + {} mem ({} affine) + {} interp insts, {} fused chains)",
+            self.superblocks,
+            self.lowered_superblocks,
+            self.alu_insts,
+            self.mem_insts,
+            self.affine_mem_insts,
+            self.interp_insts,
+            self.fused_chains
         )
     }
 }
@@ -242,6 +308,18 @@ pub struct TierCounters {
     /// Promotion events (a kernel's compiled artifact getting built under
     /// `auto` tiering).
     pub promotions: u64,
+    /// Superblocks of compiled launches that are fully lowered (no
+    /// interpreter fallback steps), summed per launch.
+    pub lowered_superblocks: u64,
+    /// Superblocks of compiled launches containing at least one
+    /// interpreter fallback step, summed per launch.
+    pub fallback_superblocks: u64,
+    /// First-class lowered memory thunks in compiled launches, summed
+    /// per launch (static counts, not dynamic executions).
+    pub lowered_mem_thunks: u64,
+    /// Instructions still executed as interpreter fallback frames inside
+    /// compiled launches, summed per launch (static counts).
+    pub fallback_insts: u64,
 }
 
 impl TierCounters {
@@ -257,6 +335,10 @@ impl std::ops::AddAssign for TierCounters {
         self.decoded += rhs.decoded;
         self.compiled += rhs.compiled;
         self.promotions += rhs.promotions;
+        self.lowered_superblocks += rhs.lowered_superblocks;
+        self.fallback_superblocks += rhs.fallback_superblocks;
+        self.lowered_mem_thunks += rhs.lowered_mem_thunks;
+        self.fallback_insts += rhs.fallback_insts;
     }
 }
 
@@ -264,6 +346,10 @@ static TREE_LAUNCHES: AtomicU64 = AtomicU64::new(0);
 static DECODED_LAUNCHES: AtomicU64 = AtomicU64::new(0);
 static COMPILED_LAUNCHES: AtomicU64 = AtomicU64::new(0);
 static PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+static LOWERED_SUPERBLOCKS: AtomicU64 = AtomicU64::new(0);
+static FALLBACK_SUPERBLOCKS: AtomicU64 = AtomicU64::new(0);
+static LOWERED_MEM_THUNKS: AtomicU64 = AtomicU64::new(0);
+static FALLBACK_INSTS: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide per-tier launch counts and promotion events (e.g. for the
 /// server metrics report).
@@ -273,47 +359,58 @@ pub fn tier_counters() -> TierCounters {
         decoded: DECODED_LAUNCHES.load(Ordering::Relaxed),
         compiled: COMPILED_LAUNCHES.load(Ordering::Relaxed),
         promotions: PROMOTIONS.load(Ordering::Relaxed),
+        lowered_superblocks: LOWERED_SUPERBLOCKS.load(Ordering::Relaxed),
+        fallback_superblocks: FALLBACK_SUPERBLOCKS.load(Ordering::Relaxed),
+        lowered_mem_thunks: LOWERED_MEM_THUNKS.load(Ordering::Relaxed),
+        fallback_insts: FALLBACK_INSTS.load(Ordering::Relaxed),
     }
 }
 
 thread_local! {
-    static LAST_LAUNCH: std::cell::Cell<Option<(ExecTier, bool)>> =
+    static LAST_LAUNCH: std::cell::Cell<Option<TierCounters>> =
         const { std::cell::Cell::new(None) };
 }
 
-/// Records a launch's tier on the process-wide counters and as this
+/// Records a launch's tier (and, for compiled launches, the program's
+/// lowered/fallback shape) on the process-wide counters and as this
 /// thread's most recent launch (launches are synchronous, so the caller
 /// can attribute it right after `launch_opts` returns).
-pub(crate) fn note_launch(tier: ExecTier, promoted: bool) {
+pub(crate) fn note_launch(tier: ExecTier, promoted: bool, program: Option<&CompiledProgram>) {
+    let mut t = TierCounters::default();
     match tier {
-        ExecTier::Tree => TREE_LAUNCHES.fetch_add(1, Ordering::Relaxed),
-        ExecTier::Decoded => DECODED_LAUNCHES.fetch_add(1, Ordering::Relaxed),
-        ExecTier::Compiled => COMPILED_LAUNCHES.fetch_add(1, Ordering::Relaxed),
-    };
-    if promoted {
-        PROMOTIONS.fetch_add(1, Ordering::Relaxed);
+        ExecTier::Tree => t.tree = 1,
+        ExecTier::Decoded => t.decoded = 1,
+        ExecTier::Compiled => t.compiled = 1,
     }
-    LAST_LAUNCH.with(|c| c.set(Some((tier, promoted))));
+    if promoted {
+        t.promotions = 1;
+    }
+    if let Some(p) = program {
+        t.lowered_superblocks = p.lowered_superblock_count() as u64;
+        t.fallback_superblocks = p.fallback_superblock_count() as u64;
+        t.lowered_mem_thunks = p.mem_inst_count() as u64;
+        t.fallback_insts = p.interp_inst_count() as u64;
+    }
+    TREE_LAUNCHES.fetch_add(t.tree, Ordering::Relaxed);
+    DECODED_LAUNCHES.fetch_add(t.decoded, Ordering::Relaxed);
+    COMPILED_LAUNCHES.fetch_add(t.compiled, Ordering::Relaxed);
+    PROMOTIONS.fetch_add(t.promotions, Ordering::Relaxed);
+    LOWERED_SUPERBLOCKS.fetch_add(t.lowered_superblocks, Ordering::Relaxed);
+    FALLBACK_SUPERBLOCKS.fetch_add(t.fallback_superblocks, Ordering::Relaxed);
+    LOWERED_MEM_THUNKS.fetch_add(t.lowered_mem_thunks, Ordering::Relaxed);
+    FALLBACK_INSTS.fetch_add(t.fallback_insts, Ordering::Relaxed);
+    LAST_LAUNCH.with(|c| c.set(Some(t)));
 }
 
 /// The most recent launch on *this* thread as a one-launch
 /// [`TierCounters`] delta (all-zero if this thread has not launched).
 /// Launches run synchronously on the calling thread, so reading this
 /// immediately after a `launch_opts` call attributes that launch —
-/// race-free even with concurrent launches on other threads.
+/// race-free even with concurrent launches on other threads. Compiled
+/// launches also carry the program's lowered/fallback superblock and
+/// mem-thunk shape.
 pub fn last_launch_tiers() -> TierCounters {
-    let mut t = TierCounters::default();
-    if let Some((tier, promoted)) = LAST_LAUNCH.with(|c| c.get()) {
-        match tier {
-            ExecTier::Tree => t.tree = 1,
-            ExecTier::Decoded => t.decoded = 1,
-            ExecTier::Compiled => t.compiled = 1,
-        }
-        if promoted {
-            t.promotions = 1;
-        }
-    }
-    t
+    LAST_LAUNCH.with(|c| c.get()).unwrap_or_default()
 }
 
 // ---------------------------------------------------------------------------
@@ -347,6 +444,12 @@ pub(crate) fn run_superblock<M: MemAccess>(
                     t(&mut c.regs, &mut c.preds, &mut c.carry, geom, lanes_n);
                 }
             }
+            Step::Mem(m) => {
+                c.stats.warp_issues += 1;
+                c.stats.warp_issue_cycles += m.cycles;
+                c.stats.thread_insts += lanes_n as u64;
+                exec_mem(m, c, lanes_n)?;
+            }
             Step::Interp { dop, cycles } => {
                 c.stats.warp_issues += 1;
                 c.stats.warp_issue_cycles += *cycles;
@@ -356,6 +459,428 @@ pub(crate) fn run_superblock<M: MemAccess>(
         }
     }
     Ok(())
+}
+
+/// Executes one lowered memory thunk over a fully-converged warp,
+/// monomorphized over the launch's `MemAccess` backend.
+///
+/// The coalescing pass runs first with exactly the address slice the
+/// interpreter would pass, so `SectorSeen` mutations and the transaction
+/// stats are identical by construction — including the epoch window,
+/// which is the warp's own `c.seen` and therefore carries dedup state
+/// across consecutive lowered thunks just like consecutive interpreter
+/// steps. If the static lane-affine hint re-verifies against the live
+/// address row *and* the whole warp's span bounds-checks once in u64
+/// (which rules out u32 wraparound anywhere in the span), the bulk
+/// `load_*_affine`/`store_*_affine` entry points move all lanes at once;
+/// otherwise the interpreter's exact per-lane loop runs — ascending
+/// lanes, error surfaced at the first failing lane, with the same
+/// partial effects before it.
+fn exec_mem<M: MemAccess>(
+    m: &MemStep,
+    c: &mut DCtx<'_, M>,
+    lanes_n: usize,
+) -> Result<(), SimError> {
+    let a = m.addr as usize;
+    let d = m.data as usize;
+    let n = lanes_n;
+    let width = m.kind.width();
+    note_transactions(&mut c.stats, &mut c.seen, m.buf, &c.regs[a..a + n], width);
+    if let Some(stride) = m.affine {
+        let base = c.regs[a];
+        let affine_ok = c.regs[a..a + n]
+            .iter()
+            .enumerate()
+            .all(|(l, &v)| v == base.wrapping_add(stride.wrapping_mul(l as u32)));
+        let end = base as u64 + stride as u64 * (n as u64 - 1) + width as u64;
+        if affine_ok && end <= c.mem.buf_len(m.buf) as u64 {
+            return match m.kind {
+                MemOpKind::LdWord => {
+                    c.mem.load_words_affine(m.buf, base, stride, &mut c.regs[d..d + n])
+                }
+                MemOpKind::LdByte => {
+                    c.mem.load_bytes_affine(m.buf, base, stride, &mut c.regs[d..d + n])
+                }
+                MemOpKind::StWord => {
+                    c.mem.store_words_affine(m.buf, base, stride, &c.regs[d..d + n])
+                }
+                MemOpKind::StByte => {
+                    c.mem.store_bytes_affine(m.buf, base, stride, &c.regs[d..d + n])
+                }
+            };
+        }
+    }
+    match m.kind {
+        MemOpKind::LdWord => {
+            for l in 0..n {
+                c.regs[d + l] = c.mem.load_word(m.buf, c.regs[a + l])?;
+            }
+        }
+        MemOpKind::LdByte => {
+            for l in 0..n {
+                c.regs[d + l] = c.mem.load_byte(m.buf, c.regs[a + l])? as u32;
+            }
+        }
+        MemOpKind::StWord => {
+            for l in 0..n {
+                c.mem.store_word(m.buf, c.regs[a + l], c.regs[d + l])?;
+            }
+        }
+        MemOpKind::StByte => {
+            for l in 0..n {
+                c.mem.store_byte(m.buf, c.regs[a + l], c.regs[d + l] as u8)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Affine-address analysis.
+// ---------------------------------------------------------------------------
+
+/// Abstract lane shape of one register row: what value lane `l` of the
+/// row holds, as a function of the lane index.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// Never assigned on any path seen so far; reads observe the zeroed
+    /// register file, i.e. the constant 0.
+    Bottom,
+    /// Lane `l` holds `base + l·stride` for some warp-uniform `base`
+    /// (`stride == 0` means warp-uniform). `konst` is additionally the
+    /// compile-time value when the row is a known immediate, so
+    /// multiplies and shifts can scale strides.
+    Affine { stride: u32, konst: Option<u32> },
+    /// Anything: data-dependent, memory-loaded, or merged incompatibly.
+    Top,
+}
+
+impl AbsVal {
+    /// Reading a `Bottom` row observes the zero-initialized register
+    /// file.
+    fn read(self) -> AbsVal {
+        match self {
+            AbsVal::Bottom => AbsVal::Affine { stride: 0, konst: Some(0) },
+            v => v,
+        }
+    }
+
+    fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Bottom, v) | (v, AbsVal::Bottom) => v,
+            (AbsVal::Affine { stride: s1, konst: k1 }, AbsVal::Affine { stride: s2, konst: k2 })
+                if s1 == s2 =>
+            {
+                AbsVal::Affine { stride: s1, konst: if k1 == k2 { k1 } else { None } }
+            }
+            _ => AbsVal::Top,
+        }
+    }
+
+    fn uniform() -> AbsVal {
+        AbsVal::Affine { stride: 0, konst: None }
+    }
+
+    fn is_uniform(self) -> bool {
+        matches!(self, AbsVal::Affine { stride: 0, .. })
+    }
+}
+
+/// `a + b` lane-wise (wrapping, like the simulated ALU).
+fn abs_add(a: AbsVal, b: AbsVal) -> AbsVal {
+    match (a.read(), b.read()) {
+        (AbsVal::Affine { stride: s1, konst: k1 }, AbsVal::Affine { stride: s2, konst: k2 }) => {
+            AbsVal::Affine {
+                stride: s1.wrapping_add(s2),
+                konst: k1.zip(k2).map(|(x, y)| x.wrapping_add(y)),
+            }
+        }
+        _ => AbsVal::Top,
+    }
+}
+
+/// `a - b` lane-wise.
+fn abs_sub(a: AbsVal, b: AbsVal) -> AbsVal {
+    match (a.read(), b.read()) {
+        (AbsVal::Affine { stride: s1, konst: k1 }, AbsVal::Affine { stride: s2, konst: k2 }) => {
+            AbsVal::Affine {
+                stride: s1.wrapping_sub(s2),
+                konst: k1.zip(k2).map(|(x, y)| x.wrapping_sub(y)),
+            }
+        }
+        _ => AbsVal::Top,
+    }
+}
+
+/// `a * b` lane-wise: a known-constant factor scales the other side's
+/// stride (the codec kernels' `addr = i·limb_bytes` shape); the product
+/// of two warp-uniform rows stays warp-uniform.
+fn abs_mul(a: AbsVal, b: AbsVal) -> AbsVal {
+    match (a.read(), b.read()) {
+        (AbsVal::Affine { stride: sa, konst: ka }, AbsVal::Affine { stride: sb, konst: kb }) => {
+            if let Some(k) = kb {
+                AbsVal::Affine { stride: sa.wrapping_mul(k), konst: ka.map(|x| x.wrapping_mul(k)) }
+            } else if let Some(k) = ka {
+                AbsVal::Affine { stride: sb.wrapping_mul(k), konst: None }
+            } else if sa == 0 && sb == 0 {
+                AbsVal::uniform()
+            } else {
+                AbsVal::Top
+            }
+        }
+        _ => AbsVal::Top,
+    }
+}
+
+/// `a << b` lane-wise for a known shift amount; uniform-by-uniform stays
+/// uniform.
+fn abs_shl(a: AbsVal, b: AbsVal) -> AbsVal {
+    match (a.read(), b.read()) {
+        (AbsVal::Affine { stride: sa, konst: ka }, AbsVal::Affine { stride: 0, konst: Some(k) }) => {
+            AbsVal::Affine { stride: sa << (k & 31), konst: ka.map(|x| x << (k & 31)) }
+        }
+        (va, vb) if va.is_uniform() && vb.is_uniform() => AbsVal::uniform(),
+        _ => AbsVal::Top,
+    }
+}
+
+/// Any other pure lane-wise ALU op: uniform inputs give a uniform
+/// result, everything else is unknown.
+fn abs_opaque2(a: AbsVal, b: AbsVal) -> AbsVal {
+    if a.read().is_uniform() && b.read().is_uniform() {
+        AbsVal::uniform()
+    } else {
+        AbsVal::Top
+    }
+}
+
+/// State of the analysis: one [`AbsVal`] per register row.
+struct AbsState {
+    rows: Vec<AbsVal>,
+}
+
+impl AbsState {
+    fn get(&self, off: u32) -> AbsVal {
+        self.rows[off as usize / 32].read()
+    }
+
+    fn set(&mut self, off: u32, v: AbsVal, changed: &mut bool) {
+        let slot = &mut self.rows[off as usize / 32];
+        if *slot != v {
+            *slot = v;
+            *changed = true;
+        }
+    }
+
+    /// Joins `other` into `self` row-wise; true if anything widened.
+    fn join_from(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for (s, o) in self.rows.iter_mut().zip(other.rows.iter()) {
+            let j = s.join(*o);
+            if *s != j {
+                *s = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn clone_state(&self) -> AbsState {
+        AbsState { rows: self.rows.clone() }
+    }
+}
+
+/// Transfer function for one instruction.
+fn abs_transfer(dop: &DOp, st: &mut AbsState, changed: &mut bool) {
+    use crate::ptx::Special;
+    match *dop {
+        DOp::MovImm { d, imm } => {
+            st.set(d, AbsVal::Affine { stride: 0, konst: Some(imm) }, changed)
+        }
+        DOp::Mov { d, a } => st.set(d, st.get(a), changed),
+        DOp::MovSpecial { d, s } => {
+            let v = match s {
+                // tid.x is the canonical lane-affine row: lane l holds
+                // `tid_base + l`.
+                Special::TidX => AbsVal::Affine { stride: 1, konst: None },
+                // Block/grid geometry is warp-uniform.
+                Special::CtaIdX | Special::NTidX | Special::NCtaIdX => AbsVal::uniform(),
+            };
+            st.set(d, v, changed);
+        }
+        // Parameters are launch constants, identical across lanes.
+        DOp::LdParam { d, .. } => st.set(d, AbsVal::uniform(), changed),
+        DOp::Add { d, a, b } => st.set(d, abs_add(st.get(a), st.get(b)), changed),
+        DOp::Sub { d, a, b } => st.set(d, abs_sub(st.get(a), st.get(b)), changed),
+        DOp::MulLo { d, a, b } => st.set(d, abs_mul(st.get(a), st.get(b)), changed),
+        DOp::Shl { d, a, b } => st.set(d, abs_shl(st.get(a), st.get(b)), changed),
+        DOp::MulHi { d, a, b }
+        | DOp::Div { d, a, b }
+        | DOp::Rem { d, a, b }
+        | DOp::Shr { d, a, b }
+        | DOp::And { d, a, b }
+        | DOp::Or { d, a, b }
+        | DOp::Xor { d, a, b } => st.set(d, abs_opaque2(st.get(a), st.get(b)), changed),
+        DOp::Bfind { d, a } => {
+            let v = if st.get(a).is_uniform() { AbsVal::uniform() } else { AbsVal::Top };
+            st.set(d, v, changed);
+        }
+        DOp::Div64 { dlo, dhi, .. } | DOp::Rem64 { dlo, dhi, .. } => {
+            st.set(dlo, AbsVal::Top, changed);
+            st.set(dhi, AbsVal::Top, changed);
+        }
+        // Carry results depend on per-lane flags; selects and shuffles on
+        // per-lane predicates/indices.
+        DOp::AddCC { d, .. }
+        | DOp::AddC { d, .. }
+        | DOp::SubCC { d, .. }
+        | DOp::SubC { d, .. }
+        | DOp::MadLoCC { d, .. }
+        | DOp::MadHiC { d, .. }
+        | DOp::Selp { d, .. }
+        | DOp::ShflIdx { d, .. }
+        | DOp::LdGlobal { d, .. }
+        | DOp::LdGlobalU8 { d, .. }
+        | DOp::LdShared { d, .. } => st.set(d, AbsVal::Top, changed),
+        // A ballot broadcasts one value to every lane: warp-uniform.
+        DOp::Ballot { d, .. } => st.set(d, AbsVal::uniform(), changed),
+        DOp::DivBig { d, dn, .. } => {
+            for k in 0..dn as u32 {
+                st.set(d + k * 32, AbsVal::Top, changed);
+            }
+        }
+        // No register destinations.
+        DOp::SetP { .. }
+        | DOp::SetPImm { .. }
+        | DOp::PAnd { .. }
+        | DOp::PNot { .. }
+        | DOp::StGlobal { .. }
+        | DOp::StGlobalU8 { .. }
+        | DOp::StShared { .. }
+        | DOp::BarSync => {}
+    }
+}
+
+/// Flow-sensitive forward analysis over the structured flat program:
+/// branch arms analyze from a snapshot and join at the reconvergence
+/// point; loops iterate the condition+body to a fixpoint on the
+/// back-edge join (the lattice has height 3 per row, so this converges
+/// in a couple of rounds — a safety cap widens leftovers to `Top`).
+///
+/// Each visit of a memory instruction joins the address row's current
+/// shape into `forms[pc]`, so a pc reached with incompatible shapes
+/// degrades to `Unknown`. The result is a *hint*: [`exec_mem`]
+/// re-verifies every stride against the live registers, so imprecision
+/// here costs only the bulk fast path, never correctness.
+fn abs_exec_range(
+    ops: &[Op],
+    forms: &mut [Option<AddrForm>],
+    st: &mut AbsState,
+    start: usize,
+    end: usize,
+) {
+    let mut pc = start;
+    while pc < end {
+        match &ops[pc] {
+            Op::I { dop, .. } => {
+                if let Some(mr) = dop.mem_ref() {
+                    let form = match st.get(mr.addr) {
+                        AbsVal::Affine { stride, .. } => AddrForm::LaneAffine { stride },
+                        _ => AddrForm::Unknown,
+                    };
+                    forms[pc] = Some(match forms[pc] {
+                        None => form,
+                        Some(prev) if prev == form => form,
+                        Some(_) => AddrForm::Unknown,
+                    });
+                }
+                let mut changed = false;
+                abs_transfer(dop, st, &mut changed);
+                pc += 1;
+            }
+            Op::If { else_pc, .. } => {
+                let else_pc = *else_pc as usize;
+                let Op::Else { end_pc } = ops[else_pc] else {
+                    unreachable!("If.else_pc targets Else")
+                };
+                let endif_pc = end_pc as usize;
+                let mut then_st = st.clone_state();
+                abs_exec_range(ops, forms, &mut then_st, pc + 1, else_pc);
+                abs_exec_range(ops, forms, st, else_pc + 1, endif_pc);
+                st.join_from(&then_st);
+                pc = endif_pc + 1;
+            }
+            Op::WhileBegin => {
+                // Find this loop's test and end by depth-tracking nested
+                // loops.
+                let mut depth = 0usize;
+                let mut test_pc = None;
+                let mut end_pc = pc;
+                for (j, op) in ops.iter().enumerate().take(end).skip(pc + 1) {
+                    match op {
+                        Op::WhileBegin => depth += 1,
+                        Op::WhileTest { .. } if depth == 0 && test_pc.is_none() => {
+                            test_pc = Some(j)
+                        }
+                        Op::WhileEnd { .. } => {
+                            if depth == 0 {
+                                end_pc = j;
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+                let test_pc = test_pc.expect("loop has a WhileTest");
+                for round in 0.. {
+                    // Condition block runs on every round (including the
+                    // final, exiting one).
+                    abs_exec_range(ops, forms, st, pc + 1, test_pc);
+                    let mut body_st = st.clone_state();
+                    abs_exec_range(ops, forms, &mut body_st, test_pc + 1, end_pc);
+                    if !st.join_from(&body_st) {
+                        break;
+                    }
+                    if round >= 8 {
+                        // Shouldn't happen (finite lattice), but cap
+                        // defensively: widen everything the body touched.
+                        st.join_from(&body_st);
+                        for r in st.rows.iter_mut() {
+                            if *r != AbsVal::Bottom {
+                                *r = AbsVal::Top;
+                            }
+                        }
+                        abs_exec_range(ops, forms, st, pc + 1, test_pc);
+                        let mut body_st = st.clone_state();
+                        abs_exec_range(ops, forms, &mut body_st, test_pc + 1, end_pc);
+                        st.join_from(&body_st);
+                        break;
+                    }
+                }
+                pc = end_pc + 1;
+            }
+            // Handled by the enclosing If/While dispatch.
+            Op::Else { .. } | Op::EndIf | Op::WhileTest { .. } | Op::WhileEnd { .. } => pc += 1,
+        }
+    }
+}
+
+/// Per-pc address forms for a kernel's flat decoded program: for every
+/// global-memory instruction, whether the static analysis proves its
+/// address row lane-affine (and with which stride). Non-memory pcs are
+/// [`AddrForm::Unknown`].
+pub(crate) fn analyze_addr_forms(ops: &[Op], num_regs: usize) -> Vec<AddrForm> {
+    let mut st = AbsState { rows: vec![AbsVal::Bottom; num_regs] };
+    let mut forms: Vec<Option<AddrForm>> = vec![None; ops.len()];
+    abs_exec_range(ops, &mut forms, &mut st, 0, ops.len());
+    forms.into_iter().map(|f| f.unwrap_or(AddrForm::Unknown)).collect()
+}
+
+/// [`analyze_addr_forms`] over a kernel (used by the disassembler's
+/// annotated listing).
+pub(crate) fn addr_forms(kernel: &Kernel) -> Vec<AddrForm> {
+    analyze_addr_forms(kernel.decoded_program().ops(), kernel.num_regs as usize)
 }
 
 // ---------------------------------------------------------------------------
@@ -842,6 +1367,7 @@ fn lower_thunk(dop: &DOp) -> Option<AluThunk> {
 pub(crate) fn compile(kernel: &Kernel) -> CompiledProgram {
     let prog: &Arc<DecodedProgram> = kernel.decoded_program();
     let ops = prog.ops();
+    let forms = analyze_addr_forms(ops, kernel.num_regs as usize);
     let mut out = CompiledProgram {
         blocks: (0..ops.len()).map(|_| None).collect(),
         superblocks: 0,
@@ -849,6 +1375,9 @@ pub(crate) fn compile(kernel: &Kernel) -> CompiledProgram {
         fused_insts: 0,
         alu_insts: 0,
         interp_insts: 0,
+        mem_insts: 0,
+        affine_mem_insts: 0,
+        lowered_superblocks: 0,
     };
     let mut i = 0usize;
     while i < ops.len() {
@@ -857,9 +1386,13 @@ pub(crate) fn compile(kernel: &Kernel) -> CompiledProgram {
             continue;
         };
         let end = *run_end as usize;
-        let sb = lower_superblock(&ops[i..end], end as u32, &mut out);
+        let interp_before = out.interp_insts;
+        let sb = lower_superblock(&ops[i..end], &forms[i..end], end as u32, &mut out);
         out.blocks[i] = Some(sb);
         out.superblocks += 1;
+        if out.interp_insts == interp_before {
+            out.lowered_superblocks += 1;
+        }
         i = end;
     }
     out
@@ -889,7 +1422,12 @@ fn fuse_mul_pair(first: &DOp, next: Option<&Op>) -> Option<AluThunk> {
     }
 }
 
-fn lower_superblock(run: &[Op], end: u32, tally: &mut CompiledProgram) -> SuperBlock {
+fn lower_superblock(
+    run: &[Op],
+    forms: &[AddrForm],
+    end: u32,
+    tally: &mut CompiledProgram,
+) -> SuperBlock {
     let mut steps: Vec<Step> = Vec::new();
     let mut thunks: Vec<AluThunk> = Vec::new();
     let mut cycles: Vec<f64> = Vec::new();
@@ -940,6 +1478,36 @@ fn lower_superblock(run: &[Op], end: u32, tally: &mut CompiledProgram) -> SuperB
             i += 1;
             continue;
         }
+        if let Some(mr) = dop.mem_ref() {
+            // First-class lowered memory thunk: flush the pending
+            // register-only segment so the stats replay stays in program
+            // order.
+            flush_chain(&mut chain, &mut thunks, tally);
+            if !cycles.is_empty() {
+                steps.push(Step::Alu {
+                    thunks: std::mem::take(&mut thunks).into_boxed_slice(),
+                    cycles: std::mem::take(&mut cycles).into_boxed_slice(),
+                });
+            }
+            let affine = match forms[i] {
+                AddrForm::LaneAffine { stride } => Some(stride),
+                AddrForm::Unknown => None,
+            };
+            steps.push(Step::Mem(MemStep {
+                kind: mr.kind,
+                buf: mr.buf,
+                addr: mr.addr,
+                data: mr.data,
+                affine,
+                cycles: *cy,
+            }));
+            tally.mem_insts += 1;
+            if affine.is_some() {
+                tally.affine_mem_insts += 1;
+            }
+            i += 1;
+            continue;
+        }
         // Interpreter step: flush the pending register-only segment first.
         flush_chain(&mut chain, &mut thunks, tally);
         if !cycles.is_empty() {
@@ -986,19 +1554,106 @@ mod tests {
     }
 
     #[test]
-    fn compile_fuses_carry_chains_and_keeps_memory_interpreted() {
+    fn compile_fuses_carry_chains_and_lowers_memory() {
         let kernel = carry_kernel();
         let (cp, built) = kernel.tier.get_or_compile(&kernel);
         assert!(built, "first call must build");
-        // Two superblocks: the straight-line prefix (split around the
-        // store) and the If body.
         assert_eq!(cp.superblock_count(), kernel.decoded_program().superblock_count());
         assert_eq!(cp.fused_chain_count(), 1, "the 4-op carry chain fuses once");
         assert_eq!(cp.fused_inst_count(), 4);
-        assert_eq!(cp.interp_inst_count(), 1, "only the store stays interpreted");
+        assert_eq!(cp.interp_inst_count(), 0, "the store lowers to a mem thunk");
+        assert_eq!(cp.mem_inst_count(), 1);
+        assert_eq!(
+            cp.affine_mem_inst_count(),
+            1,
+            "an immediate address is trivially lane-affine (stride 0)"
+        );
+        assert_eq!(cp.lowered_superblock_count(), cp.superblock_count());
+        assert_eq!(cp.fallback_superblock_count(), 0);
         let (cp2, built2) = kernel.tier.get_or_compile(&kernel);
         assert!(!built2, "second call is a cache hit");
         assert!(Arc::ptr_eq(cp, cp2));
+    }
+
+    /// The codec-kernel address shape — `gid = ctaid·ntid + tid`, then
+    /// `addr = gid·limb_bytes` bumped by one per byte, including through
+    /// the grid-stride back-edge — must be recognized lane-affine with
+    /// the right strides.
+    #[test]
+    fn affine_analysis_recognizes_codec_address_shape() {
+        let mut kb = KernelBuilder::new();
+        let (tid, ctaid, ntid, nctaid) = (kb.reg(), kb.reg(), kb.reg(), kb.reg());
+        kb.push(I::MovSpecial { d: tid, s: Special::TidX });
+        kb.push(I::MovSpecial { d: ctaid, s: Special::CtaIdX });
+        kb.push(I::MovSpecial { d: ntid, s: Special::NTidX });
+        kb.push(I::MovSpecial { d: nctaid, s: Special::NCtaIdX });
+        let (i, step, n) = (kb.reg(), kb.reg(), kb.reg());
+        kb.push(I::MulLo { d: i, a: ctaid, b: ntid });
+        kb.push(I::Add { d: i, a: i, b: tid });
+        kb.push(I::MulLo { d: step, a: ntid, b: nctaid });
+        kb.push(I::LdParam { d: n, idx: 0 });
+        let (lb, one, addr, v) = (kb.reg(), kb.reg(), kb.reg(), kb.reg());
+        kb.push(I::MovImm { d: lb, imm: 3 });
+        kb.push(I::MovImm { d: one, imm: 1 });
+        let p = kb.pred();
+        let cond = kb.block(|b| b.push(I::SetP { p, op: CmpOp::Lt, a: i, b: n }));
+        let body = kb.block(|b| {
+            b.push(I::MulLo { d: addr, a: i, b: lb });
+            b.push(I::LdGlobalU8 { d: v, buf: 0, addr });
+            b.push(I::StGlobalU8 { buf: 1, addr, src: v });
+            b.push(I::Add { d: addr, a: addr, b: one });
+            b.push(I::LdGlobalU8 { d: v, buf: 0, addr });
+            b.push(I::StGlobalU8 { buf: 1, addr, src: v });
+            b.push(I::Add { d: i, a: i, b: step });
+        });
+        kb.while_(p, cond, body, 64);
+        let kernel = kb.finish("codec_shape", 16);
+        let forms = addr_forms(&kernel);
+        let ops = kernel.decoded_program().ops();
+        let mem_forms: Vec<AddrForm> = ops
+            .iter()
+            .zip(forms.iter())
+            .filter(|(op, _)| matches!(op, Op::I { dop, .. } if dop.mem_ref().is_some()))
+            .map(|(_, f)| *f)
+            .collect();
+        assert_eq!(
+            mem_forms,
+            vec![AddrForm::LaneAffine { stride: 3 }; 4],
+            "all four byte accesses keep the gid·3 stride through the loop back-edge"
+        );
+        let (cp, _) = kernel.tier.get_or_compile(&kernel);
+        assert_eq!(cp.mem_inst_count(), 4);
+        assert_eq!(cp.affine_mem_inst_count(), 4);
+        // Only the prologue superblock falls back (its `ld.param`); the
+        // byte-dense loop body is fully lowered.
+        assert_eq!(cp.fallback_superblock_count(), 1);
+        assert_eq!(cp.interp_inst_count(), 1);
+    }
+
+    /// An address that mixes in loaded data must degrade to `Unknown`
+    /// instead of producing a bogus hint shape.
+    #[test]
+    fn affine_analysis_rejects_data_dependent_addresses() {
+        let mut kb = KernelBuilder::new();
+        let t = kb.reg();
+        kb.push(I::MovSpecial { d: t, s: Special::TidX });
+        let (addr, v) = (kb.reg(), kb.reg());
+        kb.push(I::LdGlobal { d: addr, buf: 0, addr: t });
+        kb.push(I::LdGlobalU8 { d: v, buf: 1, addr });
+        let kernel = kb.finish("data_dep_addr", 8);
+        let forms = addr_forms(&kernel);
+        let ops = kernel.decoded_program().ops();
+        let mem_forms: Vec<AddrForm> = ops
+            .iter()
+            .zip(forms.iter())
+            .filter(|(op, _)| matches!(op, Op::I { dop, .. } if dop.mem_ref().is_some()))
+            .map(|(_, f)| *f)
+            .collect();
+        assert_eq!(
+            mem_forms,
+            vec![AddrForm::LaneAffine { stride: 1 }, AddrForm::Unknown],
+            "the tid-addressed load is affine; the loaded-address access is not"
+        );
     }
 
     #[test]
@@ -1026,10 +1681,23 @@ mod tests {
     #[test]
     fn tier_counter_arithmetic() {
         let mut t = TierCounters::default();
-        t += TierCounters { tree: 1, decoded: 2, compiled: 3, promotions: 1 };
-        t += TierCounters { compiled: 1, ..Default::default() };
+        t += TierCounters {
+            tree: 1,
+            decoded: 2,
+            compiled: 3,
+            promotions: 1,
+            lowered_superblocks: 5,
+            fallback_superblocks: 2,
+            lowered_mem_thunks: 7,
+            fallback_insts: 4,
+        };
+        t += TierCounters { compiled: 1, lowered_mem_thunks: 3, ..Default::default() };
         assert_eq!(t.total(), 7);
         assert_eq!(t.compiled, 4);
         assert_eq!(t.promotions, 1);
+        assert_eq!(t.lowered_superblocks, 5);
+        assert_eq!(t.fallback_superblocks, 2);
+        assert_eq!(t.lowered_mem_thunks, 10);
+        assert_eq!(t.fallback_insts, 4);
     }
 }

@@ -152,6 +152,67 @@ pub(crate) enum DOp {
     Ballot { d: u32, p: u8 },
 }
 
+/// Access class of a global-memory [`DOp`] (see [`DOp::mem_ref`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MemOpKind {
+    /// `ld.global` — 4-byte load into a register row.
+    LdWord,
+    /// `ld.global.u8` — byte load zero-extended into a register row.
+    LdByte,
+    /// `st.global` — 4-byte store from a register row.
+    StWord,
+    /// `st.global.u8` — byte store (low byte of the source row).
+    StByte,
+}
+
+impl MemOpKind {
+    /// Access width in bytes (the coalescing model's `width` argument).
+    pub(crate) fn width(self) -> u32 {
+        match self {
+            MemOpKind::LdWord | MemOpKind::StWord => 4,
+            MemOpKind::LdByte | MemOpKind::StByte => 1,
+        }
+    }
+}
+
+/// Per-op address metadata of a global-memory access: which rows of the
+/// SoA register file hold the address and the data, and the access
+/// class. This is the decoded program's contribution to the compiled
+/// tier's mem-thunk lowering and affine-address analysis.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MemRef {
+    pub(crate) kind: MemOpKind,
+    /// Device buffer index.
+    pub(crate) buf: u8,
+    /// SoA row offset (pre-scaled ×32) of the address operand.
+    pub(crate) addr: u32,
+    /// SoA row offset of the destination (loads) or source (stores).
+    pub(crate) data: u32,
+}
+
+impl DOp {
+    /// The global-memory access this op performs, if any. Shared and
+    /// per-block memory (`LdShared`/`StShared`) and parameters stay
+    /// outside the coalescing/lowering machinery.
+    pub(crate) fn mem_ref(&self) -> Option<MemRef> {
+        Some(match *self {
+            DOp::LdGlobal { d, buf, addr } => {
+                MemRef { kind: MemOpKind::LdWord, buf, addr, data: d }
+            }
+            DOp::LdGlobalU8 { d, buf, addr } => {
+                MemRef { kind: MemOpKind::LdByte, buf, addr, data: d }
+            }
+            DOp::StGlobal { buf, addr, src } => {
+                MemRef { kind: MemOpKind::StWord, buf, addr, data: src }
+            }
+            DOp::StGlobalU8 { buf, addr, src } => {
+                MemRef { kind: MemOpKind::StByte, buf, addr, data: src }
+            }
+            _ => return None,
+        })
+    }
+}
+
 /// One op of the flat program. Control ops carry explicit targets; the
 /// interpreter *jumps over* zero-mask regions instead of masking through
 /// them, which is exactly how the tree-walker's `if mask == 0 {{ return }}`
@@ -403,12 +464,16 @@ pub(crate) struct DCtx<'a, M: MemAccess> {
     pub(crate) regs: Vec<u32>,
     pub(crate) preds: Vec<u32>,
     pub(crate) carry: u32,
-    smem: Vec<u8>,
-    mem: &'a mut M,
-    params: &'a [u32],
+    pub(crate) smem: Vec<u8>,
+    pub(crate) mem: &'a mut M,
+    pub(crate) params: &'a [u32],
     pub(crate) stats: ExecStats,
-    seen: SectorSeen,
-    kernel_name: &'a str,
+    /// Warp-lifetime seen-sector set: cleared once per warp (in
+    /// [`run_block_decoded`]) and shared by every memory instruction the
+    /// warp executes — interpreter steps and the compiled tier's lowered
+    /// mem thunks alike — so sector dedup spans the whole warp.
+    pub(crate) seen: SectorSeen,
+    pub(crate) kernel_name: &'a str,
 }
 
 /// Runs the active lanes in ascending order: a plain prefix loop when the
@@ -1322,6 +1387,221 @@ mod tests {
         }
         // The error-injecting kernels must actually exercise error paths.
         assert!(errors_seen >= 2, "fuzz generated only {errors_seen} failing kernels");
+    }
+
+    /// A byte-store-dense kernel in the shape of the §III-D codec
+    /// kernels: a lane-affine base address (`gid · lb`) walked byte by
+    /// byte through load/store runs, salted with the compiled tier's
+    /// hard cases — interpreter-fallback steps (shared memory) inside
+    /// otherwise-lowered superblocks, data-dependent (non-affine)
+    /// scatter addresses, and divergent byte stores that keep the warp
+    /// off the full-mask path entirely.
+    fn byte_dense_kernel(rng: &mut Rng, idx: usize) -> Kernel {
+        let mut kb = KernelBuilder::new();
+        let tid = kb.reg();
+        let ctaid = kb.reg();
+        let ntid = kb.reg();
+        kb.push(I::MovSpecial { d: tid, s: Special::TidX });
+        kb.push(I::MovSpecial { d: ctaid, s: Special::CtaIdX });
+        kb.push(I::MovSpecial { d: ntid, s: Special::NTidX });
+        let gid = kb.reg();
+        kb.push(I::MulLo { d: gid, a: ctaid, b: ntid });
+        kb.push(I::Add { d: gid, a: gid, b: tid });
+        let lb = 1 + rng.below(4); // limb width in bytes: 1..=4
+        let lbr = kb.imm(lb);
+        let one = kb.imm(1);
+        let addr = kb.reg();
+        kb.push(I::MulLo { d: addr, a: gid, b: lbr });
+        let smem_base = kb.smem(256);
+        assert_eq!(smem_base, 0);
+        let acc = kb.reg();
+        kb.push(I::MovImm { d: acc, imm: 0 });
+        let v = kb.reg();
+        let p = kb.pred();
+
+        let n_runs = 2 + rng.below(4);
+        for _ in 0..n_runs {
+            // One codec-style byte run: lb loads + stores, bumping the
+            // affine address between bytes.
+            kb.push(I::MulLo { d: addr, a: gid, b: lbr });
+            for _ in 0..lb {
+                kb.push(I::LdGlobalU8 { d: v, buf: rng.below(2) as u8, addr });
+                kb.push(I::Add { d: acc, a: acc, b: v });
+                kb.push(I::StGlobalU8 { buf: 2, addr, src: acc });
+                kb.push(I::Add { d: addr, a: addr, b: one });
+            }
+            match rng.below(4) {
+                0 => {
+                    // Interpreter fallback mid-superblock: a shared-memory
+                    // round trip between byte runs (mixed lowered/fallback
+                    // superblock).
+                    let m63 = kb.imm(63);
+                    let four = kb.imm(4);
+                    let saddr = kb.reg();
+                    kb.push(I::And { d: saddr, a: tid, b: m63 });
+                    kb.push(I::MulLo { d: saddr, a: saddr, b: four });
+                    kb.push(I::StShared { addr: saddr, src: acc });
+                    kb.push(I::LdShared { d: acc, addr: saddr });
+                }
+                1 => {
+                    // Non-affine scatter: a data-dependent byte store the
+                    // runtime verification must reject into the per-lane
+                    // path (masked in-bounds).
+                    let m = kb.imm(4 * N_THREADS as u32 - 1);
+                    let sc = kb.reg();
+                    kb.push(I::And { d: sc, a: acc, b: m });
+                    kb.push(I::StGlobalU8 { buf: 2, addr: sc, src: v });
+                }
+                2 => {
+                    // Divergent byte store: the warp leaves the full-mask
+                    // path, so these frames interpret per-lane.
+                    let thr = rng.below(N_THREADS as u32);
+                    kb.push(I::SetPImm { p, op: CmpOp::Lt, a: gid, imm: thr });
+                    let body = kb.block(|b| {
+                        b.push(I::StGlobalU8 { buf: 2, addr: gid, src: acc });
+                    });
+                    kb.if_(p, body, vec![]);
+                }
+                _ => {}
+            }
+        }
+        // Word-granular epilogue over the same data.
+        let four = kb.imm(4);
+        let addr4 = kb.reg();
+        kb.push(I::MulLo { d: addr4, a: gid, b: four });
+        kb.push(I::StGlobal { buf: 2, addr: addr4, src: acc });
+        kb.finish(format!("byte_dense_{idx}"), 24)
+    }
+
+    fn run_cfg(
+        kernel: &Kernel,
+        base: &GlobalMem,
+        backend: ExecBackend,
+        par: SimParallelism,
+        cfg: LaunchConfig,
+    ) -> (Result<ExecStats, SimError>, GlobalMem) {
+        let device = DeviceConfig::tiny();
+        let mut mem = base.clone();
+        let res = launch_opts(kernel, cfg, &device, &mut mem, &[N_THREADS as u32], LaunchOpts {
+            par,
+            backend,
+            auto_serial_below: None,
+        });
+        (res, mem)
+    }
+
+    /// Satellite of the mem-thunk lowering: the byte-store-dense class
+    /// across the full backend × parallelism matrix, including a tail
+    /// warp geometry (`block_threads` not a multiple of 32) so the bulk
+    /// paths run with `lanes_n < 32`. `assert_eq!` on `res` covers the
+    /// whole `ExecStats` — coalescing counts and the f64 cycle stream —
+    /// so a lowered thunk that dedups or prices differently from the
+    /// tree walker fails here.
+    #[test]
+    fn fuzz_byte_dense_matches_tree_bit_exact() {
+        let mut rng = Rng(0x5eed_beef_c0de_c0de);
+        for idx in 0..32 {
+            let kernel = byte_dense_kernel(&mut rng, idx);
+            let base = fuzz_mem(&mut rng);
+            for cfg in [GRID, LaunchConfig { grid_blocks: 4, block_threads: 48 }] {
+                let (oracle_res, oracle_mem) =
+                    run_cfg(&kernel, &base, ExecBackend::Tree, SimParallelism::Serial, cfg);
+                for (backend, par) in [
+                    (ExecBackend::Decoded, SimParallelism::Serial),
+                    (ExecBackend::Decoded, SimParallelism::Threads(4)),
+                    (ExecBackend::Compiled, SimParallelism::Serial),
+                    (ExecBackend::Compiled, SimParallelism::Threads(2)),
+                    (ExecBackend::Compiled, SimParallelism::Threads(4)),
+                ] {
+                    let (res, mem) = run_cfg(&kernel, &base, backend, par, cfg);
+                    assert_eq!(
+                        res, oracle_res,
+                        "kernel {idx}: stats diverged under {backend}/{par} ({} threads/block)",
+                        cfg.block_threads
+                    );
+                    for b in 0..3 {
+                        assert_eq!(
+                            mem.buffer(b),
+                            oracle_mem.buffer(b),
+                            "kernel {idx}: buffer {b} diverged under {backend}/{par} ({} threads/block)",
+                            cfg.block_threads
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression for the `SectorSeen` epoch window: consecutive lowered
+    /// mem thunks within a warp must share the warp's seen-sector state
+    /// (dedup across ops), not re-initialize per op — the dedup counts
+    /// must match the tree walker exactly, and revisiting the same
+    /// sectors must actually dedup.
+    #[test]
+    fn lowered_mem_thunks_share_sector_window_with_tree_dedup_counts() {
+        let mut kb = KernelBuilder::new();
+        let tid = kb.reg();
+        let ctaid = kb.reg();
+        let ntid = kb.reg();
+        kb.push(I::MovSpecial { d: tid, s: Special::TidX });
+        kb.push(I::MovSpecial { d: ctaid, s: Special::CtaIdX });
+        kb.push(I::MovSpecial { d: ntid, s: Special::NTidX });
+        let gid = kb.reg();
+        kb.push(I::MulLo { d: gid, a: ctaid, b: ntid });
+        kb.push(I::Add { d: gid, a: gid, b: tid });
+        let v = kb.reg();
+        // Eight straight-line byte ops over the same warp-wide sector:
+        // only the first load and first store may open transactions; the
+        // rest must hit the warp's seen-sector window.
+        for _ in 0..4 {
+            kb.push(I::LdGlobalU8 { d: v, buf: 0, addr: gid });
+            kb.push(I::StGlobalU8 { buf: 2, addr: gid, src: v });
+        }
+        let kernel = kb.finish("sector_reuse", 8);
+        let mut rng = Rng(0x0420_5ec7_0e5e_0001);
+        let base = fuzz_mem(&mut rng);
+        let (tree_res, _) = run_mode(&kernel, &base, ExecBackend::Tree, SimParallelism::Serial);
+        let tree_stats = tree_res.expect("in-bounds kernel");
+        let (comp_res, _) = run_mode(&kernel, &base, ExecBackend::Compiled, SimParallelism::Serial);
+        let comp_stats = comp_res.expect("in-bounds kernel");
+        assert_eq!(comp_stats, tree_stats, "lowered thunks must replay coalescing exactly");
+        // 8 warps × 8 byte ops = 64 op-warps, but each warp touches one
+        // 32 B sector per buffer: 2 transactions per warp, not 8.
+        let warps = (N_THREADS / 32) as u64;
+        assert_eq!(
+            comp_stats.mem_transactions, 2 * warps,
+            "repeat accesses within the warp's epoch window must dedup"
+        );
+    }
+
+    /// A kernel with no memory ops at all compiles to pure ALU thunks:
+    /// the per-launch tier report must show zero fallback superblocks
+    /// and zero fallback instructions.
+    #[test]
+    fn pure_alu_kernel_reports_zero_fallbacks() {
+        let mut kb = KernelBuilder::new();
+        let t = kb.reg();
+        kb.push(I::MovSpecial { d: t, s: Special::TidX });
+        let r = kb.regs(2);
+        kb.push(I::MovImm { d: r[0], imm: 5 });
+        kb.push(I::MulLo { d: r[1], a: t, b: r[0] });
+        kb.push(I::AddCC { d: r[0], a: r[1], b: t });
+        kb.push(I::AddC { d: r[1], a: r[0], b: t });
+        let kernel = kb.finish("pure_alu", 8);
+        let cp = kernel.compiled_program();
+        assert_eq!(cp.interp_inst_count(), 0);
+        assert_eq!(cp.mem_inst_count(), 0);
+        assert_eq!(cp.fallback_superblock_count(), 0);
+        let mut rng = Rng(0x0a10_0a10_0a10_0a10);
+        let base = fuzz_mem(&mut rng);
+        let (res, _) = run_mode(&kernel, &base, ExecBackend::Compiled, SimParallelism::Serial);
+        res.expect("pure ALU kernel runs clean");
+        let t = crate::compiled::last_launch_tiers();
+        assert_eq!(t.compiled, 1);
+        assert_eq!(t.fallback_superblocks, 0, "pure-ALU kernel must report zero fallbacks");
+        assert_eq!(t.fallback_insts, 0);
+        assert!(t.lowered_superblocks >= 1);
+        assert_eq!(t.lowered_mem_thunks, 0);
     }
 
     /// Error variants surface identically (not just "both failed"): drive

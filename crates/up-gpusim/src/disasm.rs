@@ -6,11 +6,52 @@
 //! syntax so generated kernels can be inspected, diffed, and golden-
 //! tested the way a real code generator's output would be.
 
-use crate::ptx::{CmpOp, Inst, Kernel, Special, Stmt};
+use crate::ptx::{AddrForm, CmpOp, Inst, Kernel, Special, Stmt};
 use core::fmt::Write as _;
 
 /// Renders a kernel as PTX-flavoured text.
 pub fn disassemble(kernel: &Kernel) -> String {
+    render_kernel(kernel, &mut |_| None)
+}
+
+/// Renders a kernel like [`disassemble`], annotating every global-memory
+/// access with the compiled tier's affine-address analysis result —
+/// `; addr base+gid*3` when the address row is proven lane-affine, `;
+/// addr unknown` otherwise. This is the metadata the mem-thunk lowering
+/// uses to pick the warp-wide bulk fast path, surfaced for inspection
+/// and golden tests.
+pub fn disassemble_with_addr_forms(kernel: &Kernel) -> String {
+    let forms = crate::compiled::addr_forms(kernel);
+    // The decoded program flattens the tree in statement order (If arms
+    // then-before-else, While condition-before-body), so the filtered
+    // per-mem-op form sequence lines up with the tree walk below.
+    let prog = kernel.decoded_program();
+    let mut mem_forms = prog
+        .ops()
+        .iter()
+        .zip(forms)
+        .filter_map(|(op, f)| match op {
+            crate::decoded::Op::I { dop, .. } if dop.mem_ref().is_some() => Some(f),
+            _ => None,
+        })
+        .collect::<Vec<_>>()
+        .into_iter();
+    render_kernel(kernel, &mut |i| {
+        is_global_mem(i).then(|| {
+            let form = mem_forms.next().unwrap_or(AddrForm::Unknown);
+            format!("  ; addr {form}")
+        })
+    })
+}
+
+fn is_global_mem(i: &Inst) -> bool {
+    matches!(
+        i,
+        Inst::LdGlobal { .. } | Inst::LdGlobalU8 { .. } | Inst::StGlobal { .. } | Inst::StGlobalU8 { .. }
+    )
+}
+
+fn render_kernel(kernel: &Kernel, ann: &mut dyn FnMut(&Inst) -> Option<String>) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -19,7 +60,7 @@ pub fn disassemble(kernel: &Kernel) -> String {
     );
     let _ = writeln!(out, ".visible .entry {}()", kernel.name);
     let _ = writeln!(out, "{{");
-    render_stmts(&kernel.body, 1, &mut out);
+    render_stmts(&kernel.body, 1, &mut out, ann);
     let _ = writeln!(out, "}}");
     out
 }
@@ -30,18 +71,26 @@ fn indent(depth: usize, out: &mut String) {
     }
 }
 
-fn render_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
+fn render_stmts(
+    stmts: &[Stmt],
+    depth: usize,
+    out: &mut String,
+    ann: &mut dyn FnMut(&Inst) -> Option<String>,
+) {
     for s in stmts {
         match s {
             Stmt::I(i) => {
                 indent(depth, out);
                 out.push_str(&render_inst(i));
+                if let Some(note) = ann(i) {
+                    out.push_str(&note);
+                }
                 out.push('\n');
             }
             Stmt::If { p, then_, else_ } => {
                 indent(depth, out);
                 let _ = writeln!(out, "@%p{p} {{");
-                render_stmts(then_, depth + 1, out);
+                render_stmts(then_, depth + 1, out, ann);
                 if else_.is_empty() {
                     indent(depth, out);
                     out.push_str("}\n");
@@ -49,7 +98,7 @@ fn render_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
                     indent(depth, out);
                     out.push_str("} @!%p ");
                     let _ = writeln!(out, "{{");
-                    render_stmts(else_, depth + 1, out);
+                    render_stmts(else_, depth + 1, out, ann);
                     indent(depth, out);
                     out.push_str("}\n");
                 }
@@ -59,10 +108,10 @@ fn render_stmts(stmts: &[Stmt], depth: usize, out: &mut String) {
                 let _ = writeln!(out, "while %p{p} (max_iter {max_iter}) {{");
                 indent(depth + 1, out);
                 out.push_str("// condition:\n");
-                render_stmts(cond, depth + 1, out);
+                render_stmts(cond, depth + 1, out, ann);
                 indent(depth + 1, out);
                 out.push_str("// body:\n");
-                render_stmts(body, depth + 1, out);
+                render_stmts(body, depth + 1, out, ann);
                 indent(depth, out);
                 out.push_str("}\n");
             }
@@ -275,6 +324,30 @@ mod tests {
         assert_eq!(h.get("mov"), Some(&1));
         assert_eq!(h.get("add.cc"), Some(&1));
         assert_eq!(h.get("addc.cc"), Some(&2));
+    }
+
+    #[test]
+    fn annotated_listing_marks_affine_addresses() {
+        let mut kb = KernelBuilder::new();
+        let t = kb.reg();
+        kb.push(I::MovSpecial { d: t, s: Special::TidX });
+        let lb = kb.reg();
+        kb.push(I::MovImm { d: lb, imm: 3 });
+        let addr = kb.reg();
+        kb.push(I::MulLo { d: addr, a: t, b: lb });
+        let v = kb.reg();
+        kb.push(I::LdGlobalU8 { d: v, buf: 0, addr });
+        kb.push(I::StGlobalU8 { buf: 1, addr, src: v });
+        let scr = kb.reg();
+        kb.push(I::LdGlobal { d: scr, buf: 0, addr: t });
+        kb.push(I::LdGlobalU8 { d: v, buf: 1, addr: scr });
+        let k = kb.finish("annotated", 8);
+        let text = disassemble_with_addr_forms(&k);
+        assert!(text.contains("; addr base+gid*3"), "{text}");
+        assert!(text.contains("; addr base+gid*1"), "{text}");
+        assert!(text.contains("; addr unknown"), "{text}");
+        // The plain listing stays annotation-free.
+        assert!(!disassemble(&k).contains("; addr"), "plain listing must not change");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use pipeline::{
     plan_timeline, run_dag, DagNodeCost, DeficitRoundRobin, PipelineMode, PipelineReport,
     SharedTimeline, SharedTimelineStats,
 };
-pub use ptx::{CmpOp, Inst, Kernel, KernelBuilder, PReg, Reg, Special, Stmt};
+pub use ptx::{AddrForm, CmpOp, Inst, Kernel, KernelBuilder, PReg, Reg, Special, Stmt};
 
 /// log₂(10) — bit-per-decimal-digit conversion used by cost formulas.
 pub const LOG2_10_APPROX: f64 = core::f64::consts::LOG2_10;

@@ -31,11 +31,34 @@ pub struct KernelProfile {
     pub divergent_branches: u64,
     /// Estimated registers per thread.
     pub regs_per_thread: u32,
+    /// Compiled-tier superblocks fully lowered to closures and mem
+    /// thunks (0 when the kernel has not been closure-compiled).
+    pub lowered_superblocks: usize,
+    /// Compiled-tier superblocks still containing interpreter fallback
+    /// steps.
+    pub fallback_superblocks: usize,
+    /// Global-memory instructions lowered to first-class mem thunks.
+    pub lowered_mem_thunks: usize,
+    /// Instructions kept as interpreter fallback frames.
+    pub fallback_interp_insts: usize,
 }
 
 impl KernelProfile {
     /// Assembles a profile from a launch's statistics and priced time.
+    /// The lowered/fallback shape is read from the kernel's compiled
+    /// artifact when one exists; profiling never forces a compile.
     pub fn collect(kernel: &Kernel, stats: &ExecStats, time: &KernelTime) -> KernelProfile {
+        let (lowered_sb, fallback_sb, mem_thunks, interp) = if kernel.compiled_tier_built() {
+            let cp = kernel.compiled_program();
+            (
+                cp.lowered_superblock_count(),
+                cp.fallback_superblock_count(),
+                cp.mem_inst_count(),
+                cp.interp_inst_count(),
+            )
+        } else {
+            (0, 0, 0, 0)
+        };
         KernelProfile {
             name: kernel.name.clone(),
             occupancy: time.occupancy,
@@ -45,12 +68,16 @@ impl KernelProfile {
             dram_bytes: stats.dram_bytes,
             divergent_branches: stats.divergent_branches,
             regs_per_thread: kernel.hw_regs_per_thread,
+            lowered_superblocks: lowered_sb,
+            fallback_superblocks: fallback_sb,
+            lowered_mem_thunks: mem_thunks,
+            fallback_interp_insts: interp,
         }
     }
 
     /// One-line report, percentage formatted like the paper's quotes.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}: occupancy {:.0}%, SM util {:.2}%, {} warp issues, {} mem txns, {} B DRAM",
             self.name,
             self.occupancy * 100.0,
@@ -58,7 +85,17 @@ impl KernelProfile {
             self.warp_issues,
             self.mem_transactions,
             self.dram_bytes,
-        )
+        );
+        if self.lowered_superblocks + self.fallback_superblocks > 0 {
+            line.push_str(&format!(
+                ", {}/{} superblocks lowered ({} mem thunks, {} fallback insts)",
+                self.lowered_superblocks,
+                self.lowered_superblocks + self.fallback_superblocks,
+                self.lowered_mem_thunks,
+                self.fallback_interp_insts,
+            ));
+        }
+        line
     }
 }
 
@@ -88,5 +125,31 @@ mod tests {
         assert!(p.summary().contains("occupancy"));
         assert!(p.occupancy > 0.9); // 34 regs → full occupancy
         assert!(p.sm_utilization < 0.2); // memory-bound
+        // Never compiled → no lowering shape (and no forced compile).
+        assert_eq!(p.lowered_superblocks, 0);
+        assert_eq!(p.fallback_superblocks, 0);
+        assert!(!p.summary().contains("superblocks lowered"));
+    }
+
+    #[test]
+    fn profile_reports_lowering_shape_once_compiled() {
+        use crate::ptx::{Inst as I, Special};
+        let d = DeviceConfig::a6000();
+        let mut kb = KernelBuilder::new();
+        let t = kb.reg();
+        kb.push(I::MovSpecial { d: t, s: Special::TidX });
+        let v = kb.reg();
+        kb.push(I::LdGlobalU8 { d: v, buf: 0, addr: t });
+        kb.push(I::StGlobalU8 { buf: 1, addr: t, src: v });
+        let k = kb.finish("codec_row", 8);
+        let _ = k.compiled_program(); // force the build, as a hot launch would
+        let stats = ExecStats { warps: 1, sample_scale: 1.0, ..Default::default() };
+        let t = kernel_time(&k, &stats, &d);
+        let p = KernelProfile::collect(&k, &stats, &t);
+        assert_eq!(p.lowered_superblocks, 1);
+        assert_eq!(p.fallback_superblocks, 0);
+        assert_eq!(p.lowered_mem_thunks, 2);
+        assert_eq!(p.fallback_interp_insts, 0);
+        assert!(p.summary().contains("1/1 superblocks lowered (2 mem thunks, 0 fallback insts)"));
     }
 }

@@ -276,6 +276,39 @@ pub fn issue_cycles(inst: &Inst) -> f64 {
     }
 }
 
+/// Statically recognized shape of a global-memory address operand, per
+/// warp: how consecutive lanes' addresses relate. Produced by the
+/// compiled tier's affine-address analysis (see `crate::compiled`) and
+/// rendered by [`crate::disasm::disassemble_with_addr_forms`].
+///
+/// The analysis is a *hint*: the compiled tier re-verifies the claimed
+/// shape against the actual register values before taking any bulk
+/// memory path, so a wrong or imprecise form can cost speed but never
+/// correctness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AddrForm {
+    /// Address shape not statically recognized (per-lane access path).
+    #[default]
+    Unknown,
+    /// Lane-affine: lane `l`'s address is `base + l * stride` for a
+    /// warp-uniform `base` — the shape every codec kernel emits
+    /// (`tuple * lb` plus a per-byte increment). `stride` is the byte
+    /// distance between adjacent lanes.
+    LaneAffine {
+        /// Byte distance between adjacent lanes' addresses.
+        stride: u32,
+    },
+}
+
+impl std::fmt::Display for AddrForm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AddrForm::Unknown => write!(f, "unknown"),
+            AddrForm::LaneAffine { stride } => write!(f, "base+gid*{stride}"),
+        }
+    }
+}
+
 /// A tiny builder making code generation readable: allocates registers and
 /// predicates, and appends statements.
 #[derive(Default)]

@@ -422,6 +422,11 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             o,
+            "mem lowering: {} lowered / {} fallback superblocks · {} mem thunks · {} fallback insts",
+            t.lowered_superblocks, t.fallback_superblocks, t.lowered_mem_thunks, t.fallback_insts
+        );
+        let _ = writeln!(
+            o,
             "pipelining:  {} queries, {} DAG nodes, overlap won {}, stream utilization {:.1}%",
             self.pipelined_queries,
             self.pipeline_nodes,
