@@ -1,0 +1,240 @@
+//! `bench_fleet` — data-parallel scans over a simulated GPU fleet.
+//!
+//! Two workload shapes, both warm-cache (one warming run so the JIT
+//! cache absorbs compilation, as in Table I's methodology):
+//!
+//! - **fig14a aggregation**: `SELECT SUM(c1) FROM r3` over DECIMAL(65,31)
+//!   (LEN 8 results), the paper's Query 3 shape;
+//! - **TPC-H Q1**: the full multi-aggregate lineitem scan at the
+//!   original DECIMAL(12,2) precision.
+//!
+//! Each shape runs at 1/2/4/8 A6000-class devices (1/2/4 with
+//! `--quick`). The fleet is strictly side-band: the harness asserts that
+//! result rows, every `ModeledTime` component, and kernel-launch counts
+//! are bit-identical across all fleet sizes, then reads the modeled
+//! makespan and speedup from each run's [`FleetReport`] (range shards at
+//! throughput-weighted bounds, partial aggregates merged in device
+//! order, PCIe-priced exchange).
+//!
+//! Acceptance: modeled speedup ≥ 1.5× at 2 devices and ≥ 3× at 4
+//! devices on both shapes. Results go to `results/BENCH_fleet.json`.
+//!
+//! Usage: `bench_fleet [--quick] [--tuples N] [--out PATH]`.
+//!
+//! [`FleetReport`]: up_engine::FleetReport
+
+use std::sync::Arc;
+use up_bench::{fmt_time, print_header, print_row, runner, HarnessOpts};
+use up_engine::{Database, Profile, QueryResult};
+use up_gpusim::Fleet;
+use up_num::DecimalType;
+use up_workloads::tpch;
+
+/// One device-count point of a shape's sweep.
+struct Point {
+    devices: usize,
+    single_device_s: f64,
+    makespan_s: f64,
+    speedup: f64,
+    exchange_bytes: u64,
+    exchange_s: f64,
+}
+
+struct ShapeOutcome {
+    shape: &'static str,
+    sql: String,
+    points: Vec<Point>,
+}
+
+fn assert_bit_identical(shape: &str, devices: usize, base: &QueryResult, r: &QueryResult) {
+    assert_eq!(base.rows.len(), r.rows.len(), "{shape}@{devices}: row count");
+    for (a, b) in base.rows.iter().zip(&r.rows) {
+        for (u, v) in a.iter().zip(b) {
+            assert_eq!(u.render(), v.render(), "{shape}@{devices}: result values");
+        }
+    }
+    assert_eq!(base.kernels, r.kernels, "{shape}@{devices}: kernel launches");
+    for (name, s, f) in [
+        ("scan_s", base.modeled.scan_s, r.modeled.scan_s),
+        ("pcie_s", base.modeled.pcie_s, r.modeled.pcie_s),
+        ("compile_s", base.modeled.compile_s, r.modeled.compile_s),
+        ("kernel_s", base.modeled.kernel_s, r.modeled.kernel_s),
+        ("cpu_s", base.modeled.cpu_s, r.modeled.cpu_s),
+        ("queue_s", base.modeled.queue_s, r.modeled.queue_s),
+    ] {
+        assert_eq!(
+            s.to_bits(),
+            f.to_bits(),
+            "{shape}@{devices}: {name} diverged ({s} vs {f})"
+        );
+    }
+}
+
+/// Runs one shape across the device-count series: fresh identically
+/// seeded database per point, one warming query, then the measured run.
+fn run_shape(
+    shape: &'static str,
+    sql: &str,
+    counts: &[usize],
+    base_rows: u64,
+    mut build: impl FnMut() -> Database,
+) -> ShapeOutcome {
+    let mut baseline: Option<QueryResult> = None;
+    let mut points = Vec::new();
+    for &devices in counts {
+        let mut db = build();
+        if devices > 1 {
+            db.set_fleet(Some(Arc::new(Fleet::a6000s(devices))));
+        }
+        db.query(sql).expect("warming run");
+        let r = db.query(sql).expect("measured run");
+        match &baseline {
+            None => {
+                assert!(r.fleet.is_none(), "{shape}: no fleet report at 1 device");
+                points.push(Point {
+                    devices,
+                    single_device_s: r.modeled.total(),
+                    makespan_s: r.modeled.total(),
+                    speedup: 1.0,
+                    exchange_bytes: 0,
+                    exchange_s: 0.0,
+                });
+                baseline = Some(r);
+            }
+            Some(base) => {
+                assert_bit_identical(shape, devices, base, &r);
+                let f = r.fleet.as_ref().expect("fleet report at > 1 device");
+                assert_eq!(f.devices, devices);
+                assert_eq!(
+                    f.partition_rows.iter().sum::<u64>(),
+                    base_rows,
+                    "{shape}@{devices}: shards cover the base table"
+                );
+                points.push(Point {
+                    devices,
+                    single_device_s: f.single_device_s,
+                    makespan_s: f.makespan_s,
+                    speedup: f.speedup,
+                    exchange_bytes: f.exchange_bytes,
+                    exchange_s: f.exchange_s,
+                });
+            }
+        }
+    }
+    ShapeOutcome { shape, sql: sql.to_string(), points }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args(8_000);
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_fleet.json".to_string());
+    let counts: &[usize] = if opts.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    println!(
+        "bench_fleet: {} tuples, warm JIT cache, {} A6000-class devices\n",
+        opts.sim_tuples,
+        counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("/"),
+    );
+
+    let agg_ty = DecimalType::new_unchecked(65, 31);
+    let shapes = [
+        run_shape("fig14a_sum", "SELECT SUM(c1) FROM r3", counts, opts.sim_tuples as u64, || {
+            runner::decimal_db(
+                Profile::UltraPrecise,
+                "r3",
+                &[("c1", agg_ty)],
+                opts.sim_tuples,
+                2,
+                65,
+            )
+        }),
+        run_shape("tpch_q1", tpch::q1_sql(), counts, opts.sim_tuples as u64, || {
+            let mut db = Database::new(Profile::UltraPrecise);
+            tpch::load(
+                &mut db,
+                tpch::TpchConfig {
+                    lineitem_rows: opts.sim_tuples,
+                    seed: 14,
+                    extended_precision: None,
+                },
+            );
+            db
+        }),
+    ];
+
+    let widths = [12usize, 9, 14, 14, 12, 10];
+    print_header(
+        &["shape", "devices", "1-device", "makespan", "exchange", "speedup"],
+        &widths,
+    );
+    let mut shape_json = Vec::new();
+    for s in &shapes {
+        let mut point_json = Vec::new();
+        for p in &s.points {
+            print_row(
+                &[
+                    s.shape.to_string(),
+                    p.devices.to_string(),
+                    fmt_time(p.single_device_s),
+                    fmt_time(p.makespan_s),
+                    fmt_time(p.exchange_s),
+                    format!("{:.2}×", p.speedup),
+                ],
+                &widths,
+            );
+            point_json.push(format!(
+                "{{\"devices\":{},\"single_device_s\":{:.9},\"makespan_s\":{:.9},\
+                 \"speedup\":{:.4},\"exchange_bytes\":{},\"exchange_s\":{:.9}}}",
+                p.devices, p.single_device_s, p.makespan_s, p.speedup, p.exchange_bytes,
+                p.exchange_s
+            ));
+        }
+        shape_json.push(format!(
+            "{{\"shape\":\"{}\",\"sql\":{:?},\"bit_identical\":true,\"points\":[{}]}}",
+            s.shape,
+            s.sql,
+            point_json.join(",")
+        ));
+    }
+
+    // The acceptance bar: sharding pays ≥ 1.5× at 2 devices and ≥ 3× at
+    // 4 on both shapes (warm cache, so the unsharded compile leg is a
+    // cache hit and the makespan is shard-dominated).
+    for s in &shapes {
+        for p in &s.points {
+            match p.devices {
+                2 => assert!(
+                    p.speedup >= 1.5,
+                    "{}: expected >= 1.5x at 2 devices, got {:.3}x",
+                    s.shape,
+                    p.speedup
+                ),
+                4 => assert!(
+                    p.speedup >= 3.0,
+                    "{}: expected >= 3x at 4 devices, got {:.3}x",
+                    s.shape,
+                    p.speedup
+                ),
+                _ => {}
+            }
+        }
+    }
+    println!("\nresults and modeled times bit-identical across all fleet sizes ✓");
+
+    let json = format!(
+        "{{\"bench\":\"fleet\",\"quick\":{},\"tuples\":{},\"device_counts\":{:?},\
+         \"shapes\":[{}]}}\n",
+        opts.quick,
+        opts.sim_tuples,
+        counts,
+        shape_json.join(",")
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out_path, &json).expect("write results json");
+    println!("wrote {out_path}");
+}

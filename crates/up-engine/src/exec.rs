@@ -189,6 +189,42 @@ pub struct QueryResult {
     /// had fewer than two independent slots). Kept separate from
     /// `modeled`, whose breakdown stays bit-identical across modes.
     pub pipeline: Option<PipelineReport>,
+    /// The modeled multi-device sharding report, when a fleet was
+    /// installed (`None` for classic single-device execution). Like
+    /// `pipeline`, a side-band model: `modeled` and rows never depend
+    /// on it.
+    pub fleet: Option<FleetReport>,
+}
+
+/// Side-band report of data-parallel execution over a simulated device
+/// fleet: scatter (range-sharded scan + transfer) → local exec →
+/// exchange (partial results staged over PCIe to the root device) →
+/// merge. Row-proportional legs (`scan_s`, `pcie_s`, `kernel_s`,
+/// `cpu_s`) shard at throughput-weighted bounds; host-global legs
+/// (`compile_s`, `queue_s`) do not. `speedup` is
+/// `single_device_s / makespan_s` — the headline scaling number.
+#[derive(Clone, Debug, Default)]
+pub struct FleetReport {
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Base-table rows assigned to each device (range shards at the
+    /// fleet's throughput-weighted bounds).
+    pub partition_rows: Vec<u64>,
+    /// Modeled busy seconds per device: its shard of the
+    /// row-proportional legs at its own throughput.
+    pub device_busy_s: Vec<f64>,
+    /// Bytes exchanged from non-root devices to the root for the merge.
+    pub exchange_bytes: u64,
+    /// Modeled exchange time (staged D2H + H2D legs per sender,
+    /// serialized on the root's copy engine).
+    pub exchange_s: f64,
+    /// The query's full modeled time on one device (= `modeled.total()`).
+    pub single_device_s: f64,
+    /// Modeled fleet completion: unsharded legs + slowest device shard +
+    /// exchange.
+    pub makespan_s: f64,
+    /// `single_device_s / makespan_s` (1.0 when they tie or both are 0).
+    pub speedup: f64,
 }
 
 /// Execution context.
@@ -227,6 +263,14 @@ pub struct ExecCtx<'a> {
     /// `None` for standalone queries. Results, `ModeledTime`, and cache
     /// stats are bit-identical either way.
     pub arena: Option<ArenaCtx<'a>>,
+    /// Simulated device fleet for data-parallel scans. `None` = classic
+    /// single-device execution. With a fleet, the scan/aggregate work is
+    /// sharded across devices at throughput-weighted range bounds and
+    /// partial accumulators merge in fixed device order — exact decimal
+    /// arithmetic keeps rows, `ModeledTime`, kernel counts, and cache
+    /// stats bit-identical to single-device; the speedup lives in the
+    /// side-band [`FleetReport`].
+    pub fleet: Option<&'a up_gpusim::Fleet>,
 }
 
 /// One query's binding to the server-wide pipeline arena (see
@@ -244,6 +288,10 @@ pub struct ArenaCtx<'a> {
     pub seq: u64,
     /// Modeled arrival second of this query on the server timeline.
     pub arrival_s: f64,
+    /// Home device of this query on the shared timeline (0 for a
+    /// single-device arena; the server's round-robin router assigns it
+    /// in fleet mode).
+    pub device: usize,
 }
 
 /// Runs a plan.
@@ -481,13 +529,13 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
                     OutputKind::CountStar => Value::Int64(members.len() as i64),
                     OutputKind::Agg(f, _) => {
                         let vals = agg_inputs[idx][0].as_ref().expect("inputs computed");
-                        aggregate_group(ctx, *f, vals, members)?
+                        aggregate_group_fleet(ctx, *f, vals, members)?
                     }
                     OutputKind::AggCombo { aggs, combo } => {
                         let mut agg_vals = Vec::with_capacity(aggs.len());
                         for (slot, (f, _)) in aggs.iter().enumerate() {
                             let v = match &agg_inputs[idx][slot] {
-                                Some(vals) => aggregate_group(ctx, *f, vals, members)?,
+                                Some(vals) => aggregate_group_fleet(ctx, *f, vals, members)?,
                                 None => Value::Int64(members.len() as i64),
                             };
                             agg_vals.push(v);
@@ -576,6 +624,14 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
         out_rows.truncate(l as usize);
     }
 
+    // Side-band fleet model: shard the row-proportional legs across the
+    // devices and price the partial-result exchange. Computed *from*
+    // `modeled` after the fact, so the canonical breakdown above stays
+    // bit-identical to single-device execution by construction.
+    let fleet_rep = ctx.fleet.map(|fleet| {
+        fleet_report(fleet, &modeled, tables[0].rows, &out_rows, plan.has_aggregates)
+    });
+
     Ok(QueryResult {
         columns,
         rows: out_rows,
@@ -584,7 +640,91 @@ pub fn execute(plan: &QueryPlan, ctx: &ExecCtx<'_>) -> Result<QueryResult, Query
         kernels,
         tiers,
         pipeline: pipeline_report,
+        fleet: fleet_rep,
     })
+}
+
+/// Approximate wire size of a result-row set — what a device ships to
+/// the root during the exchange.
+fn rows_byte_estimate(rows: &[Vec<Value>]) -> u64 {
+    rows.iter()
+        .flat_map(|r| r.iter())
+        .map(|v| match v {
+            Value::Decimal(d) => d.dtype().lb() as u64,
+            Value::Int64(_) | Value::Float64(_) => 8,
+            Value::Str(s) => s.len() as u64 + 4,
+            Value::Null => 1,
+        })
+        .sum()
+}
+
+/// Builds the [`FleetReport`] for one executed query. Row-proportional
+/// legs (scan, PCIe, kernel, host per-tuple work) shard at the fleet's
+/// throughput-weighted range bounds — each device processes its rows at
+/// its own rate, so weighted shards finish together. Compile and queue
+/// time stay host-global. The exchange stages every non-root device's
+/// partial result to the root (aggregates ship one partial row set
+/// each; projections ship their shard of the output).
+fn fleet_report(
+    fleet: &up_gpusim::Fleet,
+    modeled: &ModeledTime,
+    base_rows: usize,
+    out_rows: &[Vec<Value>],
+    aggregated: bool,
+) -> FleetReport {
+    let devices = fleet.len();
+    let bounds = fleet.shard_bounds(base_rows);
+    let partition_rows: Vec<u64> =
+        bounds.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+    let sharded = modeled.scan_s + modeled.pcie_s + modeled.kernel_s + modeled.cpu_s;
+    let unsharded = modeled.compile_s + modeled.queue_s;
+    let w0 = fleet.device(0).throughput_weight();
+    let per_row_root = if base_rows > 0 { sharded / base_rows as f64 } else { 0.0 };
+    let device_busy_s: Vec<f64> = partition_rows
+        .iter()
+        .enumerate()
+        .map(|(d, &rows)| {
+            // Device d runs at `weight_d / weight_0` times the root's
+            // throughput on these memory-bound scan shapes.
+            rows as f64 * per_row_root * (w0 / fleet.device(d).throughput_weight())
+        })
+        .collect();
+    let result_bytes = rows_byte_estimate(out_rows);
+    let mut exchange_bytes = 0u64;
+    let mut exchange_s = 0.0;
+    for (d, &shard_rows) in partition_rows.iter().enumerate().skip(1) {
+        let bytes = if aggregated {
+            // One partial accumulator row set per device.
+            result_bytes
+        } else {
+            // This device's shard of the gathered projection.
+            if base_rows > 0 {
+                result_bytes * shard_rows / base_rows as u64
+            } else {
+                0
+            }
+        };
+        exchange_bytes += bytes;
+        exchange_s += fleet.exchange_time(bytes, d, 0);
+    }
+    let slowest = device_busy_s.iter().cloned().fold(0.0, f64::max);
+    let single_device_s = modeled.total();
+    let makespan_s = unsharded + slowest + exchange_s;
+    let speedup = if makespan_s > 0.0 && single_device_s > 0.0 {
+        single_device_s / makespan_s
+    } else {
+        1.0
+    };
+    FleetReport {
+        devices,
+        partition_rows,
+        device_busy_s,
+        exchange_bytes,
+        exchange_s,
+        single_device_s,
+        makespan_s,
+        speedup,
+    }
 }
 
 /// Reads a table cell.
@@ -1176,7 +1316,7 @@ fn eval_slots_pipelined(
         // Arena: nodes land on the *server-wide* engine pools at this
         // query's modeled arrival, so the report includes cross-query
         // contention as queue delay.
-        Some(a) => a.timeline.place(a.arrival_s, &tnodes),
+        Some(a) => a.timeline.place_on(a.device, a.arrival_s, &tnodes),
         None => {
             let lanes = ctx.pipeline.depth().min(4);
             plan_timeline(&tnodes, lanes, lanes)
@@ -1655,6 +1795,130 @@ fn eval_f64_expr(e: &Expr, row: &[f64]) -> f64 {
 // ---------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------
+
+/// Data-parallel aggregation over the fleet: the group's members split
+/// into contiguous shards at the fleet's throughput-weighted range
+/// bounds (the scatter), each device folds its shard exactly as the
+/// serial path would (local exec), and the partial accumulators merge
+/// in fixed device order (the exchange+merge). Exact arithmetic makes
+/// the split associative — BigInt decimal sums, i64 sums, and
+/// comparisons are order-robust under contiguous regrouping — so the
+/// result is bit-identical to [`aggregate_group`]. Non-associative
+/// folds (Float64, COUNT DISTINCT) and tiny groups stay serial.
+fn aggregate_group_fleet(
+    ctx: &ExecCtx<'_>,
+    f: AggFunc,
+    vals: &[Value],
+    members: &[usize],
+) -> Result<Value, QueryError> {
+    let Some(fleet) = ctx.fleet else {
+        return aggregate_group(ctx, f, vals, members);
+    };
+    if fleet.len() < 2 || members.len() < fleet.len() {
+        return aggregate_group(ctx, f, vals, members);
+    }
+    let bounds = fleet.shard_bounds(members.len());
+    match (&vals[members[0]], f) {
+        (Value::Decimal(first), AggFunc::Sum | AggFunc::Avg) => {
+            let ty = first.dtype();
+            let n = members.len() as u64;
+            let out_ty = ty.sum_result(n);
+            if let Some(kind) = ctx.profile.limited_kind() {
+                // The capability check walks the running prefix in
+                // serial member order — it guards the *serial* engine's
+                // accumulator, so it must not be sharded.
+                let group: Vec<UpDecimal> = members
+                    .iter()
+                    .map(|&i| match &vals[i] {
+                        Value::Decimal(d) => d.clone(),
+                        other => panic!("mixed aggregate input {other:?}"),
+                    })
+                    .collect();
+                checked_limited_sum(kind, &group, out_ty)?;
+            }
+            let mut acc = up_num::BigInt::zero();
+            for w in bounds.windows(2) {
+                let mut part = up_num::BigInt::zero();
+                for &i in &members[w[0]..w[1]] {
+                    let Value::Decimal(d) = &vals[i] else {
+                        panic!("mixed aggregate input {:?}", vals[i])
+                    };
+                    part = part.add(&d.align_up(out_ty.scale));
+                }
+                acc = acc.add(&part);
+            }
+            let mut r = UpDecimal::from_parts_unchecked(acc, out_ty);
+            if f == AggFunc::Avg {
+                let divisor = UpDecimal::from_parts_unchecked(
+                    up_num::BigInt::from(n),
+                    DecimalType::avg_divisor(n),
+                );
+                r = r.div(&divisor)?;
+            }
+            Ok(Value::Decimal(r))
+        }
+        (Value::Decimal(_), AggFunc::Min | AggFunc::Max) => {
+            // Per-shard extremum, then the same fold over the partials
+            // in device order. `min_by`/`max_by` keep the *last* tied
+            // element, which the two-level fold preserves.
+            let mut partials: Vec<UpDecimal> = Vec::with_capacity(fleet.len());
+            for w in bounds.windows(2) {
+                let shard = members[w[0]..w[1]].iter().map(|&i| match &vals[i] {
+                    Value::Decimal(d) => d,
+                    other => panic!("mixed aggregate input {other:?}"),
+                });
+                let ext = if f == AggFunc::Min {
+                    shard.min_by(|a, b| a.cmp_value(b))
+                } else {
+                    shard.max_by(|a, b| a.cmp_value(b))
+                };
+                partials.push(ext.expect("non-empty shard").clone());
+            }
+            let v = if f == AggFunc::Min {
+                partials.iter().min_by(|a, b| a.cmp_value(b))
+            } else {
+                partials.iter().max_by(|a, b| a.cmp_value(b))
+            };
+            Ok(Value::Decimal(v.expect("non-empty").clone()))
+        }
+        (Value::Int64(_), AggFunc::Sum) => {
+            let mut total = 0i64;
+            for w in bounds.windows(2) {
+                let part: i64 = members[w[0]..w[1]]
+                    .iter()
+                    .map(|&i| match vals[i] {
+                        Value::Int64(v) => v,
+                        _ => panic!("mixed aggregate input"),
+                    })
+                    .sum();
+                total += part;
+            }
+            Ok(Value::Int64(total))
+        }
+        (Value::Int64(_), AggFunc::Min | AggFunc::Max) => {
+            let mut partials: Vec<i64> = Vec::with_capacity(fleet.len());
+            for w in bounds.windows(2) {
+                let shard = members[w[0]..w[1]].iter().map(|&i| match vals[i] {
+                    Value::Int64(v) => v,
+                    _ => panic!("mixed aggregate input"),
+                });
+                partials.push(if f == AggFunc::Min {
+                    shard.min().expect("non-empty shard")
+                } else {
+                    shard.max().expect("non-empty shard")
+                });
+            }
+            Ok(Value::Int64(if f == AggFunc::Min {
+                *partials.iter().min().expect("non-empty")
+            } else {
+                *partials.iter().max().expect("non-empty")
+            }))
+        }
+        // f64 folds are not associative and COUNT (DISTINCT) needs the
+        // whole group anyway — serial path, still bit-identical.
+        _ => aggregate_group(ctx, f, vals, members),
+    }
+}
 
 fn aggregate_group(
     ctx: &ExecCtx<'_>,

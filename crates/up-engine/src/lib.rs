@@ -18,6 +18,6 @@ pub mod sql;
 pub mod storage;
 
 pub use engine::Database;
-pub use exec::{ArenaCtx, ModeledTime, QueryError, QueryResult};
+pub use exec::{ArenaCtx, FleetReport, ModeledTime, QueryError, QueryResult};
 pub use profiles::Profile;
-pub use storage::{Catalog, ColumnData, ColumnType, Schema, Table, Value};
+pub use storage::{Catalog, ColumnData, ColumnType, PartitionSpec, Schema, Table, Value};

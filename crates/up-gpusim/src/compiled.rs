@@ -56,7 +56,7 @@
 
 use crate::decoded::{DCtx, DOp, DecodedProgram, MemOpKind, Op};
 use crate::exec::{full_mask, note_transactions, Geometry, MemAccess, SimError};
-use crate::par::env_parse;
+use crate::env::knob as env_parse;
 use crate::ptx::{AddrForm, Kernel};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};

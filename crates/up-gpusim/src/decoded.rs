@@ -29,7 +29,7 @@ use crate::exec::{
     full_mask, note_transactions, shared_store, shared_word, ExecStats, Geometry, LaunchConfig,
     MemAccess, SectorSeen, SimError,
 };
-use crate::par::env_parse;
+use crate::env::knob as env_parse;
 use crate::ptx::{issue_cycles, CmpOp, Inst, Kernel, Special, Stmt};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};

@@ -1,0 +1,127 @@
+//! Warn-once environment-knob parsing, shared by every crate in the
+//! workspace.
+//!
+//! One contract for `UP_SIM_THREADS`, `UP_SIM_EXEC`,
+//! `UP_SIM_TIER_THRESHOLD`, `UP_PIPELINE`, `UP_ARENA`, `UP_DEVICES`, and
+//! the `UP_NET_*` family: the variable is read once per process (call
+//! sites cache in a `OnceLock`), a valid value overrides the default,
+//! and a *set but unparsable* value warns once on stderr and behaves
+//! like unset — never a panic, never silently meaning something else.
+//! Values are trimmed before parsing, so `UP_DEVICES=" 4 "` works.
+
+/// Reads and parses an environment-variable knob. Returns `None` when
+/// the variable is unset or invalid; invalid values additionally warn on
+/// stderr. Cache the result in a `OnceLock` so each knob warns at most
+/// once per process.
+pub fn knob<T>(
+    name: &str,
+    expected: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Option<T> {
+    parse_value(name, expected, std::env::var(name).ok().as_deref(), parse)
+}
+
+/// Testable core of [`knob`]: `raw` is the variable's value (`None` when
+/// unset). The raw value is trimmed before `parse` sees it; the warning
+/// quotes it untrimmed so the user sees exactly what was set.
+pub fn parse_value<T>(
+    name: &str,
+    expected: &str,
+    raw: Option<&str>,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Option<T> {
+    let raw = raw?;
+    let parsed = parse(raw.trim());
+    if parsed.is_none() {
+        eprintln!("warning: ignoring invalid {name}={raw:?} (expected {expected})");
+    }
+    parsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_is_none_without_warning() {
+        assert_eq!(parse_value("UP_SIM_THREADS", "a thread count", None, |v| v
+            .parse::<usize>()
+            .ok()), None);
+    }
+
+    #[test]
+    fn up_sim_threads_knob() {
+        let parse = |v: &str| v.parse::<usize>().ok();
+        assert_eq!(parse_value("UP_SIM_THREADS", "a thread count", Some("6"), parse), Some(6));
+        assert_eq!(parse_value("UP_SIM_THREADS", "a thread count", Some(" 8 "), parse), Some(8));
+        assert_eq!(
+            parse_value("UP_SIM_THREADS", "a thread count", Some("fourteen"), parse),
+            None
+        );
+    }
+
+    #[test]
+    fn up_pipeline_knob() {
+        use crate::pipeline::PipelineMode;
+        assert_eq!(
+            parse_value("UP_PIPELINE", "off | on | <depth>", Some("4"), PipelineMode::parse),
+            Some(PipelineMode::On(4))
+        );
+        assert_eq!(
+            parse_value("UP_PIPELINE", "off | on | <depth>", Some("off"), PipelineMode::parse),
+            Some(PipelineMode::Off)
+        );
+        assert_eq!(
+            parse_value("UP_PIPELINE", "off | on | <depth>", Some("bogus"), PipelineMode::parse),
+            None
+        );
+    }
+
+    #[test]
+    fn up_sim_exec_knob() {
+        use crate::decoded::ExecBackend;
+        assert_eq!(
+            parse_value(
+                "UP_SIM_EXEC",
+                "tree | decoded | compiled | auto",
+                Some("compiled"),
+                ExecBackend::parse
+            ),
+            Some(ExecBackend::Compiled)
+        );
+        assert_eq!(
+            parse_value(
+                "UP_SIM_EXEC",
+                "tree | decoded | compiled | auto",
+                Some("turbo"),
+                ExecBackend::parse
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn up_sim_tier_threshold_knob() {
+        let parse = |v: &str| v.parse::<u64>().ok();
+        assert_eq!(
+            parse_value("UP_SIM_TIER_THRESHOLD", "a launch count", Some("5"), parse),
+            Some(5)
+        );
+        assert_eq!(
+            parse_value("UP_SIM_TIER_THRESHOLD", "a launch count", Some("soon"), parse),
+            None
+        );
+    }
+
+    #[test]
+    fn up_devices_knob() {
+        // The parse rule `up-server` uses for `UP_DEVICES`.
+        let parse = |v: &str| v.parse::<usize>().ok().filter(|&n| (1..=64).contains(&n));
+        assert_eq!(parse_value("UP_DEVICES", "a device count in 1..=64", Some("4"), parse), Some(4));
+        assert_eq!(parse_value("UP_DEVICES", "a device count in 1..=64", Some("0"), parse), None);
+        assert_eq!(
+            parse_value("UP_DEVICES", "a device count in 1..=64", Some("lots"), parse),
+            None
+        );
+    }
+}

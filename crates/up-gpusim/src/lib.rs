@@ -17,6 +17,7 @@ pub mod decoded;
 pub mod disasm;
 pub mod cost;
 pub mod device;
+pub mod env;
 pub mod exec;
 pub mod par;
 pub mod pipeline;
@@ -30,15 +31,15 @@ pub use compiled::{
     TierCounters,
 };
 pub use decoded::{decode_counters, DecodedProgram, ExecBackend};
-pub use device::DeviceConfig;
+pub use device::{CpuDevice, Device, DeviceConfig, Fleet, GpuDevice};
 pub use exec::{
     launch, launch_opts, launch_sampled, launch_sampled_opts, launch_sampled_with, launch_with,
-    ExecStats, GlobalMem, LaunchConfig, LaunchOpts, SimError,
+    planned_workers, ExecStats, GlobalMem, LaunchConfig, LaunchOpts, SimError,
 };
 pub use par::SimParallelism;
 pub use pipeline::{
-    plan_timeline, run_dag, DagNodeCost, DeficitRoundRobin, PipelineMode, PipelineReport,
-    SharedTimeline, SharedTimelineStats,
+    plan_timeline, run_dag, DagNodeCost, DeficitRoundRobin, DeviceTimelineStats, PipelineMode,
+    PipelineReport, SharedTimeline, SharedTimelineStats,
 };
 pub use ptx::{AddrForm, CmpOp, Inst, Kernel, KernelBuilder, PReg, Reg, Special, Stmt};
 

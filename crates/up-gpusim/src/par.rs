@@ -66,41 +66,12 @@ impl std::fmt::Display for SimParallelism {
     }
 }
 
-/// Reads and parses an environment-variable knob, warning on stderr when
-/// the variable is *set but unparsable* — previously such values were
-/// silently dropped (`.ok().and_then(parse)`), so a typo like
-/// `UP_SIM_THREADS=fourteen` quietly fell back to the default. Returns
-/// `None` when unset or invalid. Call sites cache the result in a
-/// `OnceLock`, so each knob warns at most once per process.
-pub(crate) fn env_parse<T>(
-    name: &str,
-    expected: &str,
-    parse: impl Fn(&str) -> Option<T>,
-) -> Option<T> {
-    parse_env_value(name, expected, std::env::var(name).ok().as_deref(), parse)
-}
-
-/// Testable core of [`env_parse`]: `raw` is the variable's value
-/// (`None` when unset).
-pub(crate) fn parse_env_value<T>(
-    name: &str,
-    expected: &str,
-    raw: Option<&str>,
-    parse: impl Fn(&str) -> Option<T>,
-) -> Option<T> {
-    let raw = raw?;
-    let parsed = parse(raw);
-    if parsed.is_none() {
-        eprintln!("warning: ignoring invalid {name}={raw:?} (expected {expected})");
-    }
-    parsed
-}
-
-/// Host core count, honoring the `UP_SIM_THREADS` override (read once).
+/// Host core count, honoring the `UP_SIM_THREADS` override (read once;
+/// warn-once parsing via [`crate::env::knob`]).
 pub fn auto_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        env_parse("UP_SIM_THREADS", "a thread count", |v| v.parse::<usize>().ok())
+        crate::env::knob("UP_SIM_THREADS", "a thread count", |v| v.parse::<usize>().ok())
             .map_or_else(host_cores, |n| n.max(1))
     })
 }
@@ -244,76 +215,6 @@ mod tests {
         assert_eq!(SimParallelism::Serial.worker_target(), 1);
         assert_eq!(SimParallelism::Threads(0).worker_target(), 1);
         assert!(SimParallelism::Auto.worker_target() >= 1);
-    }
-
-    #[test]
-    fn env_parse_paths_warn_but_never_panic() {
-        // Unset: no value, no warning.
-        assert_eq!(parse_env_value("UP_SIM_THREADS", "a thread count", None, |v| v
-            .parse::<usize>()
-            .ok()), None);
-        // Valid values pass through.
-        assert_eq!(
-            parse_env_value("UP_SIM_THREADS", "a thread count", Some("6"), |v| v
-                .parse::<usize>()
-                .ok()),
-            Some(6)
-        );
-        // Invalid values warn (stderr) and fall back to None instead of
-        // being silently indistinguishable from "unset".
-        assert_eq!(
-            parse_env_value("UP_SIM_THREADS", "a thread count", Some("fourteen"), |v| v
-                .parse::<usize>()
-                .ok()),
-            None
-        );
-        // The UP_PIPELINE parse path goes through the same helper.
-        use crate::pipeline::PipelineMode;
-        assert_eq!(
-            parse_env_value("UP_PIPELINE", "off | on | <depth>", Some("4"), PipelineMode::parse),
-            Some(PipelineMode::On(4))
-        );
-        assert_eq!(
-            parse_env_value("UP_PIPELINE", "off | on | <depth>", Some("bogus"), PipelineMode::parse),
-            None
-        );
-        // UP_SIM_EXEC: an unknown backend warns and falls back (the
-        // `ExecBackend::env_default` caller then uses `auto`), instead of
-        // being silently indistinguishable from "unset".
-        use crate::decoded::ExecBackend;
-        assert_eq!(
-            parse_env_value(
-                "UP_SIM_EXEC",
-                "tree | decoded | compiled | auto",
-                Some("compiled"),
-                ExecBackend::parse
-            ),
-            Some(ExecBackend::Compiled)
-        );
-        assert_eq!(
-            parse_env_value(
-                "UP_SIM_EXEC",
-                "tree | decoded | compiled | auto",
-                Some("turbo"),
-                ExecBackend::parse
-            ),
-            None
-        );
-        // UP_SIM_TIER_THRESHOLD rides the same warn-once framework.
-        let parse_threshold = |v: &str| v.parse::<u64>().ok();
-        assert_eq!(
-            parse_env_value("UP_SIM_TIER_THRESHOLD", "a launch count", Some("5"), parse_threshold),
-            Some(5)
-        );
-        assert_eq!(
-            parse_env_value(
-                "UP_SIM_TIER_THRESHOLD",
-                "a launch count",
-                Some("soon"),
-                parse_threshold
-            ),
-            None
-        );
     }
 
     #[test]

@@ -43,21 +43,10 @@ impl Default for NetConfig {
     }
 }
 
-/// Testable core of the env readers: `raw` is the variable's value
-/// (`None` when unset); invalid values warn and come back `None`.
-pub(crate) fn parse_env_value<T>(
-    name: &str,
-    expected: &str,
-    raw: Option<&str>,
-    parse: impl Fn(&str) -> Option<T>,
-) -> Option<T> {
-    let raw = raw?;
-    let parsed = parse(raw.trim());
-    if parsed.is_none() {
-        eprintln!("warning: ignoring invalid {name}={raw:?} (expected {expected})");
-    }
-    parsed
-}
+// The warn-once parsing core lives in `up_gpusim::env` (shared by every
+// UP_* knob across the workspace); re-imported here so the per-knob
+// parse rules and tests below stay local.
+pub(crate) use up_gpusim::env::parse_value as parse_env_value;
 
 pub(crate) fn parse_addr(v: &str) -> Option<String> {
     // A listen address needs a host and a port; full validation happens

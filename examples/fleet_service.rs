@@ -1,0 +1,108 @@
+//! The query service over a simulated four-device GPU fleet: eligible
+//! scans and aggregations shard across the devices (results and modeled
+//! times bit-identical to single-device), launches route round-robin
+//! across per-device stream pools, and the dashboard grows per-device
+//! utilization lines.
+//!
+//! ```sh
+//! cargo run --release --example fleet_service
+//! ```
+
+use std::sync::Arc;
+use ultraprecise::prelude::*;
+
+fn main() {
+    // Four A6000-class devices behind one server: the engine range-shards
+    // base tables at throughput-weighted bounds, executes each shard's
+    // partial aggregate, prices the exchange of partials back to device 0
+    // on the PCIe model, and merges in fixed device order — so the answer
+    // (and every ModeledTime component) is bit-identical to one device.
+    let server = Arc::new(UpServer::new(ServerConfig {
+        devices: 4,
+        arena: true,
+        pipeline: PipelineMode::On(4),
+        ..ServerConfig::default()
+    }));
+
+    let ty = DecimalType::new(40, 8).unwrap();
+    server.create_table(
+        "ledger",
+        Schema::new(vec![
+            ("amount", ColumnType::Decimal(ty)),
+            ("rate", ColumnType::Decimal(ty)),
+        ]),
+    );
+    let rows: Vec<Vec<Value>> = (0..4096i64)
+        .map(|i| {
+            let a = UpDecimal::from_scaled_i64(i * 982_451_653 % 900_000_000, ty).unwrap();
+            let r = UpDecimal::from_scaled_i64(100_000_000 + i % 7_500_000, ty).unwrap();
+            vec![Value::Decimal(a), Value::Decimal(r)]
+        })
+        .collect();
+    server.insert_many("ledger", rows).unwrap();
+
+    // A handful of clients running fleet-shardable aggregations.
+    let queries = [
+        "SELECT SUM(amount * rate) FROM ledger",
+        "SELECT AVG(amount), MIN(amount), MAX(amount) FROM ledger",
+        "SELECT SUM(amount + rate), COUNT(*) FROM ledger",
+    ];
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let session = server.connect(Profile::UltraPrecise);
+                for i in 0..6 {
+                    let sql = queries[(c + i) % queries.len()];
+                    match server.query(session, sql) {
+                        Ok(r) => {
+                            if c == 0 && i < queries.len() {
+                                let f = r.fleet.expect("fleet report rides every result");
+                                println!(
+                                    "client {c}: {sql}\n  -> {} row(s); shards {:?} rows, \
+                                     exchange {} B / {:.3} µs, modeled {:.3} ms -> {:.3} ms \
+                                     ({:.2}x at {} devices)",
+                                    r.rows.len(),
+                                    f.partition_rows,
+                                    f.exchange_bytes,
+                                    f.exchange_s * 1e6,
+                                    f.single_device_s * 1e3,
+                                    f.makespan_s * 1e3,
+                                    f.speedup,
+                                    f.devices,
+                                );
+                            }
+                        }
+                        Err(e) => println!("client {c}: {sql} -> {e}"),
+                    }
+                }
+                server.disconnect(session);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // The dashboard now carries a fleet block: per-device routed counts
+    // plus each device's placed DAGs and modeled pool utilization.
+    println!();
+    print!("{}", server.metrics().report());
+
+    // The same per-device breakdown, programmatically.
+    println!();
+    for d in server.fleet_stats().expect("arena is enabled above") {
+        println!(
+            "device {}: {} queries / {} nodes placed, h2d {:.3} µs, exec {:.3} µs, \
+             queued {:.3} µs, copy {:.2}% / streams {:.2}% of the global makespan",
+            d.device,
+            d.queries,
+            d.nodes,
+            d.h2d_s * 1e6,
+            d.exec_s * 1e6,
+            d.queue_s * 1e6,
+            d.copy_utilization * 100.0,
+            d.stream_utilization * 100.0,
+        );
+    }
+}
