@@ -32,7 +32,7 @@ fn bench_projection(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/projection_c1_plus_c2");
     g.throughput(Throughput::Elements(n as u64));
     for profile in [Profile::UltraPrecise, Profile::PostgresLike, Profile::MonetLike] {
-        let mut db = build_db(profile, n, 30);
+        let db = build_db(profile, n, 30);
         // Warm the kernel cache so the bench isolates execution.
         db.query("SELECT c1 + c2 FROM r").expect("warm");
         g.bench_with_input(
@@ -49,7 +49,7 @@ fn bench_aggregation(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/sum_c1");
     g.throughput(Throughput::Elements(n as u64));
     for profile in [Profile::UltraPrecise, Profile::PostgresLike] {
-        let mut db = build_db(profile, n, 29);
+        let db = build_db(profile, n, 29);
         g.bench_with_input(
             BenchmarkId::from_parameter(profile.name()),
             &profile,

@@ -48,7 +48,7 @@ fn bench_full_compile(c: &mut Criterion) {
                 &terms,
                 |bench, _| {
                     bench.iter(|| {
-                        let mut jit = JitEngine::new(opts);
+                        let jit = JitEngine::new(opts);
                         std::hint::black_box(jit.compile(std::hint::black_box(&e)))
                     })
                 },

@@ -20,7 +20,7 @@ fn bench_jit_build(c: &mut Criterion) {
             .add(Expr::col(2, ty, "c"));
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, _| {
             bench.iter(|| {
-                let mut jit = JitEngine::with_defaults();
+                let jit = JitEngine::with_defaults();
                 std::hint::black_box(jit.compile(std::hint::black_box(&e)))
             })
         });
@@ -44,7 +44,7 @@ fn bench_kernel_launch(c: &mut Criterion) {
             let a = Expr::col(0, ty, "a");
             let b = Expr::col(1, ty, "b");
             let e = if make { a.mul(b) } else { a.add(b) };
-            let mut jit = JitEngine::with_defaults();
+            let jit = JitEngine::with_defaults();
             let (Compiled::Kernel(k), _) = jit.compile(&e) else { panic!("kernel") };
             let ca = datagen::random_decimal_column(n, ty, 2, true, 1);
             let cb = datagen::random_decimal_column(n, ty, 2, true, 2);

@@ -1,46 +1,66 @@
-//! `bench_net` — wire-protocol load harness: 1k+ simulated clients over
-//! loopback TCP against one `WireServer`.
+//! `bench_net` — wire-protocol load harness: a connection-scaling
+//! matrix of simulated clients over loopback TCP against one
+//! `WireServer` per cell.
 //!
-//! Four tenants share the server with skewed DRR admission weights and
-//! skewed client populations (a hot/cold mix):
+//! Each cell is `mode × connections` (mode ∈ {threads, epoll};
+//! connections ∈ 256/1k/4k by default) with an idle+active mix: 1/4 of
+//! the connections run queries, the rest hold authenticated sockets
+//! open — the shape that separates per-connection fixed cost (threads,
+//! stacks) from per-query work. Per cell the harness reports
+//! throughput, per-tenant latency percentiles, OS threads (total
+//! process peak plus the server's own `up-net-*`/`up-worker-*` threads
+//! counted by name from `/proc/self/task`), and peak RSS.
 //!
-//! | tenant   | weight | share of clients |
-//! |----------|--------|------------------|
-//! | hot-a    | 4.0    | 40%              |
-//! | hot-b    | 2.0    | 30%              |
-//! | cold-a   | 1.0    | 20%              |
-//! | cold-b   | 1.0    | 10%              |
+//! Four tenants share each server with skewed DRR admission weights
+//! and skewed active-client populations (a hot/cold mix):
 //!
-//! Every client is a real `up_net::Client` on its own thread: connect
-//! (with retry — 1k simultaneous SYNs overflow the default backlog),
-//! authenticate, run its queries, orderly goodbye. The harness reports
-//! per-tenant throughput and latency percentiles (p50/p95/p99) and
-//! writes them to `results/BENCH_net.json`, then asserts that nobody
-//! starved: every client connected, every query resolved (rows, not
-//! errors), and the server's connection cap never refused anyone.
+//! | tenant   | weight | share of active clients |
+//! |----------|--------|-------------------------|
+//! | hot-a    | 4.0    | 40%                     |
+//! | hot-b    | 2.0    | 30%                     |
+//! | cold-a   | 1.0    | 20%                     |
+//! | cold-b   | 1.0    | 10%                     |
 //!
-//! Usage: `bench_net [--quick] [--clients N] [--tuples N] [--out PATH]`.
-//! Default 1024 clients (64 with `--quick`).
+//! Results land in `results/BENCH_net.json` (schema
+//! `net-conn-scaling-v2`, see `results/README.md`). The harness asserts
+//! that nobody starved (no refusals, no protocol errors, every query
+//! resolved), that epoll cells run with no per-connection threads
+//! (`up-net-*` count ≤ event_threads + acceptor), and — under
+//! `--reactor` — that the reactor's throughput at the comparison size
+//! is at least the threads-mode baseline.
+//!
+//! Usage: `bench_net [--quick] [--reactor] [--clients N] [--tuples N]
+//! [--out PATH]`.
+//! * default: full matrix (threads@{256,1024}, epoll@{256,1024,4096})
+//! * `--quick`: one CI-sized epoll cell (64 connections)
+//! * `--reactor`: threads-vs-epoll comparison at 256 connections (or
+//!   `--clients N`) with the throughput assertion; combine with
+//!   `--quick` for the CI artifact
+//! * `--clients N`: override the cell size (single-cell / comparison
+//!   runs)
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use up_bench::HarnessOpts;
 use up_engine::{ColumnType, Schema, Value};
-use up_net::{Client, NetConfig, TenantQuota, TenantRegistry, WireServer};
+use up_net::{Client, NetConfig, ReactorMode, TenantQuota, TenantRegistry, WireServer};
 use up_num::{DecimalType, UpDecimal};
 use up_server::{ServerConfig, UpServer};
 
 const TENANTS: [(&str, f64, usize); 4] =
     [("hot-a", 4.0, 40), ("hot-b", 2.0, 30), ("cold-a", 1.0, 20), ("cold-b", 1.0, 10)];
 
-/// Small per-client stack: ~2k threads live at peak (client + server
-/// side), so the default 8 MiB would be wasteful.
+const WORKERS: usize = 4;
+
+/// Small per-client stack: active clients are threads, and threads-mode
+/// cells add two server threads per connection on top.
 const CLIENT_STACK: usize = 256 * 1024;
 
 fn seeded_server(rows: usize) -> Arc<UpServer> {
     let t = DecimalType::new_unchecked(12, 2);
     let up = Arc::new(UpServer::new(ServerConfig {
-        workers: 4,
+        workers: WORKERS,
         queue_capacity: 4096,
         arena: true,
         default_timeout: Duration::from_secs(300),
@@ -84,12 +104,96 @@ fn connect_with_retry(addr: std::net::SocketAddr, tenant: &'static str) -> Clien
     }
 }
 
+// ---- /proc sampling ----------------------------------------------------
+
+/// Reads an integer field (`Threads:`, `VmRSS:`, `VmHWM:`) from
+/// `/proc/self/status`; `None` off Linux.
+fn proc_status(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Counts live threads by `comm` prefix: (`up-net-*`, `up-worker-*`).
+/// The benchmark's own client threads are named `bench-*`, so these two
+/// prefixes isolate the server's side of the process.
+fn server_thread_counts() -> (usize, usize) {
+    let (mut wire, mut workers) = (0, 0);
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else { return (0, 0) };
+    for task in tasks.flatten() {
+        let comm = std::fs::read_to_string(task.path().join("comm")).unwrap_or_default();
+        let comm = comm.trim();
+        if comm.starts_with("up-net-") {
+            wire += 1;
+        } else if comm.starts_with("up-worker-") {
+            workers += 1;
+        }
+    }
+    (wire, workers)
+}
+
+/// Resets the kernel's peak-RSS watermark (`VmHWM`) so each cell gets
+/// its own peak. Best-effort: needs a writable `/proc/self/clear_refs`.
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Samples `Threads:` and `VmRSS:` until stopped, keeping the maxima.
+struct PeakSampler {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<(u64, u64)>,
+}
+
+impl PeakSampler {
+    fn start() -> PeakSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("bench-sampler".into())
+            .spawn(move || {
+                let (mut threads, mut rss) = (0u64, 0u64);
+                while !stop2.load(Ordering::Relaxed) {
+                    threads = threads.max(proc_status("Threads:").unwrap_or(0));
+                    rss = rss.max(proc_status("VmRSS:").unwrap_or(0));
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                (threads, rss)
+            })
+            .expect("spawn sampler");
+        PeakSampler { stop, handle }
+    }
+
+    /// (peak process threads, peak RSS in KiB) over the sampled window.
+    fn finish(self) -> (u64, u64) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().expect("sampler thread")
+    }
+}
+
+// ---- one matrix cell ---------------------------------------------------
+
 struct TenantOutcome {
     name: &'static str,
     weight: f64,
     clients: usize,
     queries: usize,
     latencies_s: Vec<f64>,
+}
+
+struct CellResult {
+    mode: &'static str,
+    conns: usize,
+    active: usize,
+    queries: usize,
+    wall_s: f64,
+    qps: f64,
+    wire_threads: usize,
+    worker_threads: usize,
+    peak_threads: u64,
+    peak_rss_kb: u64,
+    vm_hwm_kb: u64,
+    hwm_reset: bool,
+    tenants: Vec<TenantOutcome>,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -100,19 +204,13 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[((p * n as f64).ceil() as usize).clamp(1, n) - 1]
 }
 
-fn main() {
-    let opts = HarnessOpts::from_args(512);
-    let args: Vec<String> = std::env::args().collect();
-    let flag = |name: &str| {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
-    };
-    let out_path = flag("--out").unwrap_or_else(|| "results/BENCH_net.json".to_string());
-    let total_clients: usize = flag("--clients")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if opts.quick { 64 } else { 1024 });
-    let reps_per_client = if opts.quick { 2 } else { 3 };
+fn run_cell(mode: ReactorMode, conns: usize, reps: usize, tuples: usize) -> CellResult {
+    let active = (conns / 4).max(1);
+    let idle = conns - active;
+    let hwm_reset = reset_peak_rss();
+    let sampler = PeakSampler::start();
 
-    let up = seeded_server(opts.sim_tuples);
+    let up = seeded_server(tuples);
     let tenants = Arc::new(TenantRegistry::new());
     for (name, weight, _) in TENANTS {
         tenants.register(name, "bench", TenantQuota { weight, ..TenantQuota::default() });
@@ -122,42 +220,55 @@ fn main() {
         Arc::clone(&tenants),
         NetConfig {
             addr: "127.0.0.1:0".into(),
-            max_conns: total_clients + 64,
-            idle_timeout: Duration::from_secs(120),
+            reactor: mode,
+            max_conns: conns + 64,
+            // Idle connections must survive the whole cell untouched.
+            idle_timeout: Duration::from_secs(600),
             ..NetConfig::default()
         },
     )
     .expect("bind loopback");
     let addr = server.addr();
+    let mode_name = server.mode().name();
     println!(
-        "bench_net: {total_clients} clients x {reps_per_client} queries over {addr}, \
-         {} tuples, 4 workers, DRR weights {:?}\n",
-        opts.sim_tuples,
-        TENANTS.map(|(n, w, _)| format!("{n}={w}")),
+        "cell {mode_name}@{conns}: {active} active x {reps} queries + {idle} idle, \
+         {tuples} tuples, {WORKERS} workers"
     );
 
-    // Partition clients over tenants by the configured shares.
-    let mut assignment: Vec<&'static str> = Vec::with_capacity(total_clients);
+    // Idle fleet: authenticated sockets held open from this thread — no
+    // client-side thread cost, so thread counts isolate the server.
+    let idle_clients: Vec<Client> = (0..idle)
+        .map(|i| connect_with_retry(addr, TENANTS[i % TENANTS.len()].0))
+        .collect();
+
+    // Active fleet, partitioned over tenants by the configured shares.
+    let mut assignment: Vec<&'static str> = Vec::with_capacity(active);
     for (name, _, share) in TENANTS {
-        let n = (total_clients * share) / 100;
-        assignment.extend(std::iter::repeat_n(name, n));
+        assignment.extend(std::iter::repeat_n(name, (active * share) / 100));
     }
-    while assignment.len() < total_clients {
+    while assignment.len() < active {
         assignment.push(TENANTS[0].0);
     }
 
-    let t0 = Instant::now();
+    let connected = Arc::new(AtomicUsize::new(0));
+    let start = Arc::new(AtomicBool::new(false));
     let handles: Vec<_> = assignment
         .iter()
         .enumerate()
         .map(|(ix, &tenant)| {
+            let connected = Arc::clone(&connected);
+            let start = Arc::clone(&start);
             std::thread::Builder::new()
                 .name(format!("bench-client-{ix}"))
                 .stack_size(CLIENT_STACK)
                 .spawn(move || {
                     let mut client = connect_with_retry(addr, tenant);
-                    let mut latencies = Vec::with_capacity(reps_per_client);
-                    for rep in 0..reps_per_client {
+                    connected.fetch_add(1, Ordering::Release);
+                    while !start.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let mut latencies = Vec::with_capacity(reps);
+                    for rep in 0..reps {
                         let q0 = Instant::now();
                         let rows = client
                             .query(query_for(ix, rep))
@@ -171,6 +282,18 @@ fn main() {
                 .expect("spawn bench client")
         })
         .collect();
+
+    // Steady state: every connection is up, no query in flight yet.
+    // This is where "no per-connection threads" is visible.
+    while connected.load(Ordering::Acquire) < active {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let wire_now = server.stats();
+    assert_eq!(wire_now.active, conns, "{mode_name}@{conns}: full fleet connected");
+    let (wire_threads, worker_threads) = server_thread_counts();
+
+    let t0 = Instant::now();
+    start.store(true, Ordering::Release);
 
     let mut outcomes: Vec<TenantOutcome> = TENANTS
         .iter()
@@ -190,76 +313,201 @@ fn main() {
         o.latencies_s.extend(lats);
     }
     let wall_s = t0.elapsed().as_secs_f64();
-
-    println!(
-        "{:<8} {:>7} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
-        "tenant", "weight", "clients", "queries", "qps", "p50", "p95", "p99"
-    );
-    let mut tenant_json = Vec::new();
-    let mut total_queries = 0usize;
     for o in &mut outcomes {
         o.latencies_s.sort_by(f64::total_cmp);
-        total_queries += o.queries;
-        let qps = o.queries as f64 / wall_s;
-        let (p50, p95, p99) = (
-            percentile(&o.latencies_s, 0.50),
-            percentile(&o.latencies_s, 0.95),
-            percentile(&o.latencies_s, 0.99),
-        );
-        println!(
-            "{:<8} {:>7.1} {:>8} {:>8} {:>10.2} {:>8.3} s {:>8.3} s {:>8.3} s",
-            o.name, o.weight, o.clients, o.queries, qps, p50, p95, p99
-        );
-        tenant_json.push(format!(
-            "{{\"tenant\":\"{}\",\"weight\":{},\"clients\":{},\"queries\":{},\
-             \"qps\":{:.3},\"p50_s\":{:.6},\"p95_s\":{:.6},\"p99_s\":{:.6}}}",
-            o.name, o.weight, o.clients, o.queries, qps, p50, p95, p99
-        ));
     }
 
-    let wire = server.stats();
-    let m = up.metrics();
-    println!(
-        "\ntotal: {total_queries} queries in {wall_s:.3} s ({:.2} qps), \
-         {} conns accepted, {} refused, {} protocol errors",
-        total_queries as f64 / wall_s,
-        wire.accepted,
-        wire.refused,
-        wire.protocol_errors
-    );
+    for c in idle_clients {
+        c.goodbye().expect("idle client goodbye");
+    }
 
     // The acceptance bar: nobody starved and nothing leaked.
+    let wire = server.stats();
+    let m = up.metrics();
+    let queries: usize = outcomes.iter().map(|o| o.queries).sum();
     assert_eq!(wire.refused, 0, "connection cap must not starve the configured fleet");
     assert_eq!(wire.protocol_errors, 0, "clean traffic must not trip protocol errors");
-    assert_eq!(
-        total_queries,
-        total_clients * reps_per_client,
-        "every query must resolve with rows"
-    );
+    assert_eq!(wire.idle_closed, 0, "idle fleet must outlive the cell");
+    assert_eq!(wire.slow_closed, 0, "active fleet reads its replies");
+    assert_eq!(queries, active * reps, "every query must resolve with rows");
     assert_eq!(m.failed + m.rejected + m.timed_out + m.canceled, 0, "no server-side failures");
     for (name, ..) in TENANTS {
         let s = tenants.stats(name).expect("tenant registered");
         assert_eq!(s.inflight, 0, "{name}: in-flight queries drained");
         assert_eq!(s.errors, 0, "{name}: no errors");
     }
+    // The reactor's contract: event threads + acceptor, regardless of
+    // connection count. (Counted by thread name, so only meaningful
+    // where /proc exists and epoll is actually in effect.)
+    if mode_name == "epoll" && wire_threads > 0 {
+        let budget = NetConfig::default().event_threads + 1;
+        assert!(
+            wire_threads <= budget,
+            "epoll@{conns}: {wire_threads} up-net threads exceed event_threads+acceptor={budget}"
+        );
+    }
+
+    let mut server = server;
+    server.shutdown();
+    let (peak_threads, peak_rss_kb) = sampler.finish();
+    let vm_hwm_kb = proc_status("VmHWM:").unwrap_or(0);
+
+    CellResult {
+        mode: mode_name,
+        conns,
+        active,
+        queries,
+        wall_s,
+        qps: queries as f64 / wall_s,
+        wire_threads,
+        worker_threads,
+        peak_threads,
+        peak_rss_kb,
+        vm_hwm_kb,
+        hwm_reset,
+        tenants: outcomes,
+    }
+}
+
+// ---- driver ------------------------------------------------------------
+
+fn main() {
+    let opts = HarnessOpts::from_args(512);
+    let args: Vec<String> = std::env::args().collect();
+    let flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned());
+    let reactor_compare = args.iter().any(|a| a == "--reactor");
+    let out_path = flag("--out").unwrap_or_else(|| "results/BENCH_net.json".to_string());
+    let clients_override: Option<usize> = flag("--clients").and_then(|v| v.parse().ok());
+    let reps = if opts.quick { 2 } else { 3 };
+
+    // The cell list: mode × connection count.
+    let cells: Vec<(ReactorMode, usize)> = if reactor_compare {
+        let n = clients_override.unwrap_or(256);
+        vec![(ReactorMode::Threads, n), (ReactorMode::Epoll, n)]
+    } else if let Some(n) = clients_override {
+        vec![(ReactorMode::Epoll, n)]
+    } else if opts.quick {
+        vec![(ReactorMode::Epoll, 64)]
+    } else {
+        vec![
+            (ReactorMode::Threads, 256),
+            (ReactorMode::Threads, 1024),
+            (ReactorMode::Epoll, 256),
+            (ReactorMode::Epoll, 1024),
+            (ReactorMode::Epoll, 4096),
+        ]
+    };
+    println!(
+        "bench_net: {} cells, {} tuples, {WORKERS} workers, DRR weights {:?}\n",
+        cells.len(),
+        opts.sim_tuples,
+        TENANTS.map(|(n, w, _)| format!("{n}={w}")),
+    );
+
+    let results: Vec<CellResult> =
+        cells.iter().map(|&(mode, conns)| run_cell(mode, conns, reps, opts.sim_tuples)).collect();
+
+    println!(
+        "\n{:<14} {:>7} {:>8} {:>10} {:>9} {:>9} {:>9} {:>12}",
+        "cell", "active", "queries", "qps", "net-thr", "wrk-thr", "peak-thr", "peak-rss"
+    );
+    for r in &results {
+        println!(
+            "{:<14} {:>7} {:>8} {:>10.2} {:>9} {:>9} {:>9} {:>9} KiB",
+            format!("{}@{}", r.mode, r.conns),
+            r.active,
+            r.queries,
+            r.qps,
+            r.wire_threads,
+            r.worker_threads,
+            r.peak_threads,
+            r.peak_rss_kb
+        );
+    }
+
+    // Cross-cell comparison: at equal connection count, the reactor
+    // must not cost throughput relative to thread-per-connection.
+    let baseline_vs_epoll = |n: usize| {
+        let t = results.iter().find(|r| r.mode == "threads" && r.conns == n)?;
+        let e = results.iter().find(|r| r.mode == "epoll" && r.conns == n)?;
+        Some((t.qps, e.qps))
+    };
+    let mut compare_json = String::new();
+    for n in [256, 1024, 4096] {
+        if let Some((threads_qps, epoll_qps)) = baseline_vs_epoll(n) {
+            println!(
+                "\nreactor comparison @{n}: epoll {epoll_qps:.2} qps vs threads \
+                 {threads_qps:.2} qps ({:+.1}%)",
+                (epoll_qps / threads_qps - 1.0) * 100.0
+            );
+            assert!(
+                epoll_qps >= threads_qps,
+                "epoll throughput ({epoll_qps:.2} qps) fell below the threads-mode \
+                 baseline ({threads_qps:.2} qps) at {n} clients"
+            );
+            compare_json = format!(
+                ",\"reactor_compare\":{{\"conns\":{n},\"threads_qps\":{threads_qps:.3},\
+                 \"epoll_qps\":{epoll_qps:.3}}}"
+            );
+        }
+    }
+
+    let cell_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let tenants: Vec<String> = r
+                .tenants
+                .iter()
+                .map(|o| {
+                    format!(
+                        "{{\"tenant\":\"{}\",\"weight\":{},\"clients\":{},\"queries\":{},\
+                         \"qps\":{:.3},\"p50_s\":{:.6},\"p95_s\":{:.6},\"p99_s\":{:.6}}}",
+                        o.name,
+                        o.weight,
+                        o.clients,
+                        o.queries,
+                        o.queries as f64 / r.wall_s,
+                        percentile(&o.latencies_s, 0.50),
+                        percentile(&o.latencies_s, 0.95),
+                        percentile(&o.latencies_s, 0.99)
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"mode\":\"{}\",\"conns\":{},\"active\":{},\"idle\":{},\"queries\":{},\
+                 \"wall_s\":{:.6},\"qps\":{:.3},\"wire_threads\":{},\"worker_threads\":{},\
+                 \"peak_process_threads\":{},\"peak_rss_kb\":{},\"vm_hwm_kb\":{},\
+                 \"hwm_per_cell\":{},\"tenants\":[{}]}}",
+                r.mode,
+                r.conns,
+                r.active,
+                r.conns - r.active,
+                r.queries,
+                r.wall_s,
+                r.qps,
+                r.wire_threads,
+                r.worker_threads,
+                r.peak_threads,
+                r.peak_rss_kb,
+                r.vm_hwm_kb,
+                r.hwm_reset,
+                tenants.join(",")
+            )
+        })
+        .collect();
 
     let json = format!(
-        "{{\"bench\":\"net\",\"quick\":{},\"clients\":{total_clients},\
-         \"queries_per_client\":{reps_per_client},\"tuples\":{},\"workers\":4,\
-         \"wall_s\":{wall_s:.6},\"total_qps\":{:.3},\
-         \"conns_accepted\":{},\"conns_refused\":{},\
-         \"tenants\":[{}]}}\n",
+        "{{\"bench\":\"net\",\"schema\":\"net-conn-scaling-v2\",\"quick\":{},\
+         \"tuples\":{},\"workers\":{WORKERS},\"queries_per_client\":{reps},\
+         \"cells\":[{}]{compare_json}}}\n",
         opts.quick,
         opts.sim_tuples,
-        total_queries as f64 / wall_s,
-        wire.accepted,
-        wire.refused,
-        tenant_json.join(",")
+        cell_json.join(",")
     );
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         std::fs::create_dir_all(dir).ok();
     }
     std::fs::write(&out_path, &json).expect("write BENCH_net.json");
     println!("wrote {out_path}");
-    drop(server); // joins every connection thread before exit
 }

@@ -71,6 +71,11 @@ pub enum ErrorCode {
     ConnLimit = 25,
     /// The connection sat idle past the server's idle timeout.
     IdleTimeout = 26,
+    /// The peer stopped reading: its bounded outbound queue overflowed
+    /// ([`NetConfig::max_write_buf`](crate::NetConfig::max_write_buf)),
+    /// so the server dropped the connection instead of buffering
+    /// without bound.
+    SlowConsumer = 27,
 }
 
 impl ErrorCode {
@@ -101,6 +106,7 @@ impl ErrorCode {
             24 => ByteBudgetExceeded,
             25 => ConnLimit,
             26 => IdleTimeout,
+            27 => SlowConsumer,
             _ => return None,
         })
     }
@@ -499,6 +505,49 @@ pub fn parse_frame(buf: &[u8], max_frame: u32) -> Result<Option<(usize, Frame)>,
     Ok(Some((4 + len, frame)))
 }
 
+/// Resumable frame decoder: feed it byte chunks as they arrive (in any
+/// split — a nonblocking read may deliver half a length prefix), pull
+/// complete frames off the front. This is the one reassembly path both
+/// wire modes share, so a frame split across reads can never
+/// desynchronize the stream in either.
+///
+/// After a [`DecodeError`] the stream is untrustworthy; the caller
+/// answers with the stable code and closes (the assembler keeps
+/// returning the same error).
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    acc: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// New empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Appends newly-read bytes to the accumulator.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.acc.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are
+    /// needed. Call in a loop — one `push` may complete several frames.
+    pub fn next_frame(&mut self, max_frame: u32) -> Result<Option<Frame>, DecodeError> {
+        match parse_frame(&self.acc, max_frame)? {
+            None => Ok(None),
+            Some((consumed, frame)) => {
+                self.acc.drain(..consumed);
+                Ok(Some(frame))
+            }
+        }
+    }
+
+    /// Bytes buffered but not yet forming a complete frame.
+    pub fn pending(&self) -> usize {
+        self.acc.len()
+    }
+}
+
 /// Blocking read of exactly one frame. `Ok(None)` on clean EOF at a
 /// frame boundary; EOF mid-frame is an [`WireError::Io`] error.
 pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Option<Frame>, WireError> {
@@ -637,6 +686,7 @@ mod tests {
             (ErrorCode::ByteBudgetExceeded, 24),
             (ErrorCode::ConnLimit, 25),
             (ErrorCode::IdleTimeout, 26),
+            (ErrorCode::SlowConsumer, 27),
         ] {
             assert_eq!(code.as_u16(), v);
             assert_eq!(ErrorCode::from_u16(v), Some(code));
@@ -654,6 +704,36 @@ mod tests {
         let codes: Vec<u16> =
             errs.iter().map(|e| ErrorCode::from_server_error(e).as_u16()).collect();
         assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn assembler_resumes_across_arbitrary_splits() {
+        let frames = [
+            Frame::Hello { max_frame: 1 << 20, max_inflight: 8 },
+            Frame::Query { id: 3, sql: "SELECT SUM(x) FROM t".into() },
+            Frame::Goodbye,
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode(&mut bytes);
+        }
+        // Feed one byte at a time: every frame must still pop exactly
+        // once, in order, with nothing left pending.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            asm.push(std::slice::from_ref(b));
+            while let Some(f) = asm.next_frame(DEFAULT_MAX_FRAME).unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(asm.pending(), 0);
+        // A poisoned stream keeps returning the same stable error.
+        let mut asm = FrameAssembler::new();
+        asm.push(&u32::MAX.to_be_bytes());
+        assert_eq!(asm.next_frame(64).unwrap_err().code, ErrorCode::FrameTooLarge);
+        assert_eq!(asm.next_frame(64).unwrap_err().code, ErrorCode::FrameTooLarge);
     }
 
     #[test]

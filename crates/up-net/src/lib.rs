@@ -6,9 +6,17 @@
 //!
 //! - [`frame`] — the codec: length-prefixed, versioned binary frames
 //!   with strict limits and stable numeric [`ErrorCode`]s;
-//! - [`conn`] — the [`WireServer`]: acceptor + per-connection
-//!   reader/writer threads, a connection cap, idle timeouts, and
-//!   graceful shutdown that drains in-flight tickets;
+//! - [`conn`] — the [`WireServer`]: one acceptor plus either the
+//!   legacy per-connection reader/writer threads or (default on
+//!   Linux) the epoll [`reactor`] with `O(cores)` event threads; both
+//!   modes share the connection cap, idle timeouts, bounded
+//!   per-connection write queues, and graceful shutdown that drains
+//!   in-flight tickets;
+//! - [`reactor`] — the readiness-driven event loops: nonblocking
+//!   sockets in a slab, per-connection read/write state machines over
+//!   the same codec, and an eventfd wakeup path that hands query
+//!   completions back to the owning event thread
+//!   (`UP_NET_REACTOR=threads|epoll` selects the mode);
 //! - [`tenant`] — the [`TenantRegistry`]: token-bucket rate limits,
 //!   concurrency caps, result-byte budgets, and DRR admission weights;
 //! - [`client`] — a blocking [`Client`] shared by the tests, the
@@ -46,13 +54,19 @@ pub mod client;
 pub mod config;
 pub mod conn;
 pub mod frame;
+#[cfg(target_os = "linux")]
+pub mod reactor;
+#[cfg(target_os = "linux")]
+mod sys;
 pub mod tenant;
+mod writeq;
 
 pub use client::{Client, Reply, RowSet};
-pub use config::NetConfig;
+pub use config::{NetConfig, ReactorMode};
 pub use conn::{WireServer, WireStats};
 pub use frame::{
-    parse_frame, read_frame, write_frame, DecodeError, ErrorCode, Frame, WireError,
-    DEFAULT_MAX_FRAME, WIRE_VERSION,
+    parse_frame, read_frame, write_frame, DecodeError, ErrorCode, Frame, FrameAssembler,
+    WireError, DEFAULT_MAX_FRAME, WIRE_VERSION,
 };
 pub use tenant::{TenantQuota, TenantRegistry, TenantStats};
+pub use writeq::Overflow;

@@ -1,0 +1,279 @@
+//! Bounded per-connection outbound queues.
+//!
+//! Both wire modes enforce the same backpressure contract: a
+//! connection's un-flushed reply bytes are bounded by
+//! [`NetConfig::max_write_buf`](crate::NetConfig::max_write_buf). A
+//! peer that submits queries but stops reading replies used to grow the
+//! writer queue without bound; now the push fails, the connection gets
+//! a stable [`SlowConsumer`](crate::ErrorCode::SlowConsumer) error, and
+//! the server drops it. The bound is a threshold, not a ceiling: a push
+//! is accepted whenever the queue is currently *below* the bound, so a
+//! single frame larger than the bound still goes out (frames are
+//! already capped at `max_frame`), and control frames (errors,
+//! `Goodbye`) bypass the check — they are what a teardown needs to say.
+//!
+//! [`WriteQueue`] is the threads-mode shape: producers (the reader
+//! thread, waiter threads) push encoded frames, one writer thread pops
+//! blocking. [`OutBuf`] is the reactor shape: single-owner (the event
+//! thread), flushed opportunistically against a nonblocking socket, no
+//! lock at all.
+
+use crate::frame::Frame;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Condvar, Mutex};
+
+/// A producer-side push bounced off the byte bound: the peer is a slow
+/// consumer and the connection should be torn down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overflow {
+    /// Bytes already queued when the push was refused.
+    pub queued: usize,
+}
+
+/// One encoded outbound frame.
+pub(crate) struct Out {
+    pub bytes: Vec<u8>,
+    /// `Goodbye` is the writer's stop marker in threads mode.
+    pub goodbye: bool,
+}
+
+struct WqState {
+    q: VecDeque<Out>,
+    bytes: usize,
+    closed: bool,
+}
+
+/// Multi-producer / single-consumer bounded frame queue (threads mode).
+pub(crate) struct WriteQueue {
+    state: Mutex<WqState>,
+    ready: Condvar,
+    bound: usize,
+}
+
+impl WriteQueue {
+    pub fn new(bound: usize) -> WriteQueue {
+        WriteQueue {
+            state: Mutex::new(WqState { q: VecDeque::new(), bytes: 0, closed: false }),
+            ready: Condvar::new(),
+            bound,
+        }
+    }
+
+    /// Queues a data frame; refused once the queue sits at/over the
+    /// byte bound (the connection owner then runs the slow-consumer
+    /// teardown). Pushes to a closed queue are silently dropped — the
+    /// writer is already gone, there is nobody left to tell.
+    pub fn push(&self, frame: &Frame) -> Result<(), Overflow> {
+        let mut g = self.state.lock().expect("write queue poisoned");
+        if g.closed {
+            return Ok(());
+        }
+        if g.bytes >= self.bound {
+            return Err(Overflow { queued: g.bytes });
+        }
+        let bytes = frame.to_bytes();
+        g.bytes += bytes.len();
+        g.q.push_back(Out { bytes, goodbye: matches!(frame, Frame::Goodbye) });
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Queues a control frame (error notices, `Goodbye`) regardless of
+    /// the bound — teardown must always be able to say why.
+    pub fn push_control(&self, frame: &Frame) {
+        let mut g = self.state.lock().expect("write queue poisoned");
+        if g.closed {
+            return;
+        }
+        let bytes = frame.to_bytes();
+        g.bytes += bytes.len();
+        g.q.push_back(Out { bytes, goodbye: matches!(frame, Frame::Goodbye) });
+        drop(g);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next frame; `None` once closed and drained.
+    pub fn pop_blocking(&self) -> Option<Out> {
+        let mut g = self.state.lock().expect("write queue poisoned");
+        loop {
+            if let Some(out) = g.q.pop_front() {
+                g.bytes -= out.bytes.len();
+                return Some(out);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).expect("write queue poisoned");
+        }
+    }
+
+    /// Closes the queue: the writer drains what is queued and exits.
+    pub fn close(&self) {
+        self.state.lock().expect("write queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Single-owner bounded outbound buffer (reactor mode): a FIFO of
+/// encoded frames plus a cursor into the front one, flushed against a
+/// nonblocking socket until `WouldBlock`.
+pub(crate) struct OutBuf {
+    q: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already written.
+    front_pos: usize,
+    bytes: usize,
+    bound: usize,
+}
+
+impl OutBuf {
+    pub fn new(bound: usize) -> OutBuf {
+        OutBuf { q: VecDeque::new(), front_pos: 0, bytes: 0, bound }
+    }
+
+    /// Queues a data frame under the byte bound.
+    pub fn push(&mut self, frame: &Frame) -> Result<(), Overflow> {
+        if self.bytes >= self.bound {
+            return Err(Overflow { queued: self.bytes });
+        }
+        self.push_control(frame);
+        Ok(())
+    }
+
+    /// Queues a control frame regardless of the bound.
+    pub fn push_control(&mut self, frame: &Frame) {
+        let bytes = frame.to_bytes();
+        self.bytes += bytes.len();
+        self.q.push_back(bytes);
+    }
+
+    /// Writes as much as the socket accepts. `Ok(true)` = fully
+    /// drained, `Ok(false)` = the socket would block (caller keeps
+    /// `EPOLLOUT` interest); an error means the connection is dead.
+    pub fn flush(&mut self, w: &mut impl Write) -> std::io::Result<bool> {
+        while let Some(front) = self.q.front() {
+            match w.write(&front[self.front_pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted 0 bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.front_pos += n;
+                    self.bytes -= n;
+                    if self.front_pos == front.len() {
+                        self.q.pop_front();
+                        self.front_pos = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Queued (un-flushed) bytes.
+    #[cfg(test)]
+    pub fn queued(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ErrorCode;
+
+    fn rows_frame(cells: usize) -> Frame {
+        Frame::Rows {
+            id: 1,
+            columns: vec!["x".into()],
+            rows: (0..cells).map(|i| vec![format!("{i:032}")]).collect(),
+        }
+    }
+
+    #[test]
+    fn write_queue_bounds_data_but_not_control() {
+        let q = WriteQueue::new(32);
+        q.push(&rows_frame(1)).unwrap();
+        // Queue now sits over the 32-byte bound: the next push bounces.
+        let err = q.push(&rows_frame(1)).unwrap_err();
+        assert!(err.queued >= 32);
+        // ...but the teardown notice always fits.
+        q.push_control(&Frame::Error {
+            id: 0,
+            code: ErrorCode::SlowConsumer.as_u16(),
+            message: "too slow".into(),
+        });
+        q.push_control(&Frame::Goodbye);
+        q.close();
+        let mut kinds = Vec::new();
+        while let Some(out) = q.pop_blocking() {
+            kinds.push(out.goodbye);
+        }
+        assert_eq!(kinds, vec![false, false, true], "rows, error, goodbye");
+        // Draining returned the queue to empty; pushes after close are
+        // swallowed, not deadlocks.
+        q.push(&rows_frame(1)).unwrap();
+        assert!(q.pop_blocking().is_none());
+    }
+
+    #[test]
+    fn outbuf_flushes_across_partial_writes() {
+        // A writer that accepts 7 bytes per call, then blocks every
+        // third call: flush must resume exactly where it left off.
+        struct Dribble {
+            sink: Vec<u8>,
+            calls: usize,
+        }
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.calls += 1;
+                if self.calls.is_multiple_of(3) {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                let n = buf.len().min(7);
+                self.sink.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut out = OutBuf::new(1 << 20);
+        let frames = [rows_frame(3), Frame::Goodbye, rows_frame(1)];
+        let mut expect = Vec::new();
+        for f in &frames {
+            out.push(f).unwrap();
+            f.encode(&mut expect);
+        }
+        let mut w = Dribble { sink: Vec::new(), calls: 0 };
+        while !out.flush(&mut w).unwrap() {}
+        assert_eq!(w.sink, expect);
+        assert!(out.is_empty());
+        assert_eq!(out.queued(), 0);
+    }
+
+    #[test]
+    fn outbuf_bound_is_a_threshold() {
+        let mut out = OutBuf::new(16);
+        // Below the bound: even a frame far larger than it is accepted.
+        out.push(&rows_frame(64)).unwrap();
+        assert!(out.queued() > 16);
+        // At/over the bound: refused until flushed.
+        assert!(out.push(&Frame::Goodbye).is_err());
+        let mut sink = Vec::new();
+        assert!(out.flush(&mut sink).unwrap());
+        out.push(&Frame::Goodbye).unwrap();
+    }
+}

@@ -1,14 +1,21 @@
 //! End-to-end wire tests: real loopback TCP connections against a real
 //! `UpServer`, checking result fidelity, stable error codes, tenant
 //! quotas, fairness skew, and lifecycle edges.
+//!
+//! Every test body takes the [`ReactorMode`] to run under and is
+//! instantiated twice (`threads::*`, `epoll::*`), so the legacy
+//! thread-per-connection backend and the epoll reactor must behave
+//! identically on every path — results, codes, quotas, idle eviction,
+//! and shutdown drain. (Off Linux the `epoll` leg degrades to threads
+//! via [`ReactorMode::effective`] and becomes a second threads run.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use up_engine::{ColumnType, Profile, Schema, Value};
 use up_net::{
-    read_frame, write_frame, Client, ErrorCode, Frame, NetConfig, Reply, TenantQuota,
-    TenantRegistry, WireError, WireServer, DEFAULT_MAX_FRAME,
+    read_frame, write_frame, Client, ErrorCode, Frame, NetConfig, ReactorMode, Reply,
+    TenantQuota, TenantRegistry, WireError, WireServer, DEFAULT_MAX_FRAME,
 };
 use up_num::{DecimalType, UpDecimal};
 use up_server::{ServerConfig, UpServer};
@@ -39,9 +46,38 @@ fn open_registry(names: &[&str]) -> Arc<TenantRegistry> {
     tenants
 }
 
-fn net_config() -> NetConfig {
-    NetConfig { addr: "127.0.0.1:0".into(), ..NetConfig::default() }
+fn net_config(mode: ReactorMode) -> NetConfig {
+    NetConfig { addr: "127.0.0.1:0".into(), reactor: mode, ..NetConfig::default() }
 }
+
+/// Instantiates each test body under both wire backends.
+macro_rules! both_modes {
+    ($($name:ident),+ $(,)?) => {
+        mod threads {
+            $(#[test]
+            fn $name() {
+                super::$name(up_net::ReactorMode::Threads);
+            })+
+        }
+        mod epoll {
+            $(#[test]
+            fn $name() {
+                super::$name(up_net::ReactorMode::Epoll);
+            })+
+        }
+    };
+}
+
+both_modes!(
+    wire_rows_are_bit_identical_to_in_process_queries,
+    server_errors_arrive_with_their_stable_codes,
+    tenant_quotas_enforce_rate_concurrency_and_byte_budget,
+    byte_budget_and_inflight_cap_cut_off_over_the_wire,
+    handshake_violations_and_garbage_get_protocol_codes,
+    connection_cap_refuses_and_idle_timeout_reaps,
+    weighted_tenants_get_a_skewed_completion_share_under_saturation,
+    shutdown_drains_inflight_queries_before_goodbye,
+);
 
 fn remote_code(err: WireError) -> ErrorCode {
     match err {
@@ -52,11 +88,10 @@ fn remote_code(err: WireError) -> ErrorCode {
     }
 }
 
-#[test]
-fn wire_rows_are_bit_identical_to_in_process_queries() {
+fn wire_rows_are_bit_identical_to_in_process_queries(mode: ReactorMode) {
     let up = seeded_up(ServerConfig::default(), 64);
     let tenants = open_registry(&["alpha", "beta", "gamma"]);
-    let mut server = WireServer::start(Arc::clone(&up), tenants, net_config()).unwrap();
+    let mut server = WireServer::start(Arc::clone(&up), tenants, net_config(mode)).unwrap();
 
     let queries = [
         "SELECT x + x FROM t",
@@ -89,8 +124,7 @@ fn wire_rows_are_bit_identical_to_in_process_queries() {
     server.shutdown();
 }
 
-#[test]
-fn server_errors_arrive_with_their_stable_codes() {
+fn server_errors_arrive_with_their_stable_codes(mode: ReactorMode) {
     // workers:0 parks everything in the queue forever, making each
     // error path deterministic: queue_capacity 2 makes the third
     // pipelined query a Rejected, closing the session turns the two
@@ -106,7 +140,7 @@ fn server_errors_arrive_with_their_stable_codes() {
         8,
     );
     let tenants = open_registry(&["acme"]);
-    let mut server = WireServer::start(Arc::clone(&up), tenants, net_config()).unwrap();
+    let mut server = WireServer::start(Arc::clone(&up), tenants, net_config(mode)).unwrap();
     let mut client = Client::connect(server.addr(), "acme", "token").unwrap();
 
     let q1 = client.send_query("SELECT x FROM t").unwrap();
@@ -143,8 +177,7 @@ fn server_errors_arrive_with_their_stable_codes() {
     server.shutdown();
 }
 
-#[test]
-fn tenant_quotas_enforce_rate_concurrency_and_byte_budget() {
+fn tenant_quotas_enforce_rate_concurrency_and_byte_budget(mode: ReactorMode) {
     let up = seeded_up(
         ServerConfig { workers: 0, default_timeout: Duration::from_millis(200), ..Default::default() },
         8,
@@ -161,7 +194,7 @@ fn tenant_quotas_enforce_rate_concurrency_and_byte_budget() {
         "token",
         TenantQuota { max_concurrent: 1, ..TenantQuota::default() },
     );
-    let mut server = WireServer::start(Arc::clone(&up), tenants, net_config()).unwrap();
+    let mut server = WireServer::start(Arc::clone(&up), tenants, net_config(mode)).unwrap();
 
     let mut c = Client::connect(server.addr(), "bursty", "token").unwrap();
     c.send_query("SELECT x FROM t").unwrap();
@@ -189,8 +222,7 @@ fn tenant_quotas_enforce_rate_concurrency_and_byte_budget() {
     server.shutdown();
 }
 
-#[test]
-fn byte_budget_and_inflight_cap_cut_off_over_the_wire() {
+fn byte_budget_and_inflight_cap_cut_off_over_the_wire(mode: ReactorMode) {
     // Budget of 1 byte: the first query lands (the budget is checked
     // before its bytes arrive), the second is refused.
     let up = seeded_up(ServerConfig::default(), 8);
@@ -200,7 +232,7 @@ fn byte_budget_and_inflight_cap_cut_off_over_the_wire() {
         "token",
         TenantQuota { result_byte_budget: 1, ..TenantQuota::default() },
     );
-    let mut server = WireServer::start(Arc::clone(&up), tenants, net_config()).unwrap();
+    let mut server = WireServer::start(Arc::clone(&up), tenants, net_config(mode)).unwrap();
     let mut c = Client::connect(server.addr(), "tiny", "token").unwrap();
     c.query("SELECT SUM(x) FROM t").unwrap();
     let err = c.query("SELECT SUM(x) FROM t").unwrap_err();
@@ -218,7 +250,7 @@ fn byte_budget_and_inflight_cap_cut_off_over_the_wire() {
     let mut server = WireServer::start(
         Arc::clone(&up),
         tenants,
-        NetConfig { max_inflight: 1, ..net_config() },
+        NetConfig { max_inflight: 1, ..net_config(mode) },
     )
     .unwrap();
     let mut c = Client::connect(server.addr(), "acme", "token").unwrap();
@@ -234,11 +266,10 @@ fn byte_budget_and_inflight_cap_cut_off_over_the_wire() {
     server.shutdown();
 }
 
-#[test]
-fn handshake_violations_and_garbage_get_protocol_codes() {
+fn handshake_violations_and_garbage_get_protocol_codes(mode: ReactorMode) {
     let up = seeded_up(ServerConfig::default(), 4);
     let tenants = open_registry(&["acme"]);
-    let mut server = WireServer::start(up, tenants, net_config()).unwrap();
+    let mut server = WireServer::start(up, tenants, net_config(mode)).unwrap();
 
     // Wrong token.
     let err = Client::connect(server.addr(), "acme", "wrong").unwrap_err();
@@ -273,8 +304,7 @@ fn handshake_violations_and_garbage_get_protocol_codes() {
     server.shutdown();
 }
 
-#[test]
-fn connection_cap_refuses_and_idle_timeout_reaps() {
+fn connection_cap_refuses_and_idle_timeout_reaps(mode: ReactorMode) {
     let up = seeded_up(ServerConfig::default(), 4);
     let tenants = open_registry(&["acme"]);
     let mut server = WireServer::start(
@@ -283,7 +313,7 @@ fn connection_cap_refuses_and_idle_timeout_reaps() {
         NetConfig {
             max_conns: 1,
             idle_timeout: Duration::from_millis(300),
-            ..net_config()
+            ..net_config(mode)
         },
     )
     .unwrap();
@@ -316,8 +346,7 @@ fn connection_cap_refuses_and_idle_timeout_reaps() {
     server.shutdown();
 }
 
-#[test]
-fn weighted_tenants_get_a_skewed_completion_share_under_saturation() {
+fn weighted_tenants_get_a_skewed_completion_share_under_saturation(mode: ReactorMode) {
     // One worker, DRR dequeue (arena on), both tenants keep 32 queries
     // queued: the 2.0-weight tenant should complete ~2× the queries of
     // the 1.0-weight tenant at any cut point.
@@ -337,7 +366,7 @@ fn weighted_tenants_get_a_skewed_completion_share_under_saturation() {
     let mut server = WireServer::start(
         Arc::clone(&up),
         tenants,
-        NetConfig { max_inflight: 64, ..net_config() },
+        NetConfig { max_inflight: 64, ..net_config(mode) },
     )
     .unwrap();
 
@@ -388,8 +417,7 @@ fn weighted_tenants_get_a_skewed_completion_share_under_saturation() {
     server.shutdown();
 }
 
-#[test]
-fn shutdown_drains_inflight_queries_before_goodbye() {
+fn shutdown_drains_inflight_queries_before_goodbye(mode: ReactorMode) {
     let up = seeded_up(
         ServerConfig { workers: 1, default_timeout: Duration::from_secs(60), ..Default::default() },
         2000,
@@ -398,7 +426,7 @@ fn shutdown_drains_inflight_queries_before_goodbye() {
     let mut server = WireServer::start(
         Arc::clone(&up),
         tenants,
-        NetConfig { max_inflight: 16, ..net_config() },
+        NetConfig { max_inflight: 16, ..net_config(mode) },
     )
     .unwrap();
 

@@ -68,5 +68,5 @@ pub mod session;
 
 pub use arena::{ArenaStats, LaunchArena};
 pub use metrics::{LatencyHistogram, LatencySummary, MetricsSnapshot};
-pub use server::{CancelHandle, QueryTicket, ServerConfig, ServerError, UpServer};
+pub use server::{CancelHandle, Completion, QueryTicket, ServerConfig, ServerError, UpServer};
 pub use session::{SessionId, SessionManager, SessionStats};

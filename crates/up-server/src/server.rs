@@ -211,7 +211,55 @@ struct Job {
     seq: u64,
     cancel: Arc<AtomicBool>,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<QueryResult, ServerError>>,
+    reply: ReplySink,
+}
+
+/// A completion callback: invoked exactly once with the query's result,
+/// on whichever thread resolves the job (usually a worker). Callback
+/// submissions ([`UpServer::submit_with`]) let a readiness-driven front
+/// end receive results without parking a thread per query.
+pub type Completion = Box<dyn FnOnce(Result<QueryResult, ServerError>) + Send + 'static>;
+
+/// Where a job's result goes: a channel (ticket-based waits) or a
+/// one-shot callback. Either way the submitter observes exactly one
+/// resolution — a callback job that is dropped unresolved (e.g. still
+/// queued when the queue closes) fires with [`ServerError::Shutdown`].
+enum ReplySink {
+    Channel(mpsc::Sender<Result<QueryResult, ServerError>>),
+    Callback(Option<Completion>),
+}
+
+impl ReplySink {
+    fn send(&mut self, r: Result<QueryResult, ServerError>) {
+        match self {
+            // A gone receiver (client timed out and dropped the ticket)
+            // is fine — the work is done and accounted either way.
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(r);
+            }
+            ReplySink::Callback(cb) => {
+                if let Some(cb) = cb.take() {
+                    cb(r);
+                }
+            }
+        }
+    }
+
+    /// Disarms the drop-guard (the submitter is reporting the failure
+    /// itself, e.g. an admission rejection returned from `submit_with`).
+    fn defuse(&mut self) {
+        if let ReplySink::Callback(cb) = self {
+            cb.take();
+        }
+    }
+}
+
+impl Drop for ReplySink {
+    fn drop(&mut self) {
+        if let ReplySink::Callback(Some(_)) = self {
+            self.send(Err(ServerError::Shutdown));
+        }
+    }
 }
 
 /// The admission queue behind one of two dispatch disciplines: global
@@ -466,7 +514,7 @@ impl UpServer {
     /// Returns the session's final stats, or `None` if unknown.
     pub fn close_session(&self, id: SessionId) -> Option<SessionStats> {
         let stats = self.inner.sessions.disconnect(id)?;
-        for job in self.inner.queue.remove_session(id.0) {
+        for mut job in self.inner.queue.remove_session(id.0) {
             // The job left the queue without a worker: keep the depth
             // gauge honest and release its prefetched compile entries.
             self.inner.metrics.on_dequeued();
@@ -474,7 +522,7 @@ impl UpServer {
             if let Some(arena) = &self.inner.arena {
                 arena.on_query_done(job.seq);
             }
-            let _ = job.reply.send(Err(ServerError::UnknownSession(id)));
+            job.reply.send(Err(ServerError::UnknownSession(id)));
         }
         Some(stats)
     }
@@ -527,11 +575,65 @@ impl UpServer {
     /// fast with [`ServerError::Rejected`] when the admission queue is
     /// full and [`ServerError::UnknownSession`] for stale handles.
     pub fn submit(&self, session: SessionId, sql: &str) -> Result<QueryTicket, ServerError> {
-        let profile = self
-            .inner
-            .sessions
-            .profile(session)
-            .ok_or(ServerError::UnknownSession(session))?;
+        let (tx, rx) = mpsc::channel();
+        let (cancel, seq) = self.submit_sink(session, sql, ReplySink::Channel(tx))?;
+        Ok(QueryTicket {
+            rx,
+            cancel,
+            timeout: self.inner.config.default_timeout,
+            seq,
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Submits a query whose result is delivered to `on_done` instead of
+    /// a ticket — no thread parks waiting. The callback runs exactly
+    /// once, on whichever thread resolves the job (a worker on
+    /// completion; the closer on session teardown; the drop path with
+    /// [`ServerError::Shutdown`] if the queue dies under it). Callers
+    /// enforcing their own deadline should [`CancelHandle::cancel`] and
+    /// record it via [`note_client_timeout`](UpServer::note_client_timeout).
+    pub fn submit_with(
+        &self,
+        session: SessionId,
+        sql: &str,
+        on_done: Completion,
+    ) -> Result<CancelHandle, ServerError> {
+        let (cancel, _seq) =
+            self.submit_sink(session, sql, ReplySink::Callback(Some(on_done)))?;
+        Ok(CancelHandle(cancel))
+    }
+
+    /// The server's default client-wait deadline
+    /// ([`ServerConfig::default_timeout`]) — what [`QueryTicket::wait`]
+    /// enforces, exported so callback-based front ends can enforce the
+    /// same deadline themselves.
+    pub fn default_timeout(&self) -> Duration {
+        self.inner.config.default_timeout
+    }
+
+    /// Records a client-side wait timeout in the server metrics — the
+    /// callback-submission counterpart of the accounting
+    /// [`QueryTicket::wait`] does when its deadline expires.
+    pub fn note_client_timeout(&self) {
+        self.inner.metrics.on_timed_out();
+    }
+
+    fn submit_sink(
+        &self,
+        session: SessionId,
+        sql: &str,
+        mut reply: ReplySink,
+    ) -> Result<(Arc<AtomicBool>, u64), ServerError> {
+        let profile = match self.inner.sessions.profile(session) {
+            Some(p) => p,
+            None => {
+                // The submitter gets this as the call's error; the sink
+                // must not fire a second time on drop.
+                reply.defuse();
+                return Err(ServerError::UnknownSession(session));
+            }
+        };
         // Arena admission: register the plan's kernel signatures *now*,
         // so first-occurrence compiles start while the job is queued and
         // duplicates attach to them. Plan errors are deliberately ignored
@@ -554,7 +656,6 @@ impl UpServer {
             None => 0,
         };
         let cancel = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel();
         let job = Job {
             session,
             profile,
@@ -562,20 +663,18 @@ impl UpServer {
             seq,
             cancel: Arc::clone(&cancel),
             enqueued: Instant::now(),
-            reply: tx,
+            reply,
         };
         match self.inner.queue.push(session.0, job) {
             Ok(_depth) => {
                 self.inner.metrics.on_submitted();
-                Ok(QueryTicket {
-                    rx,
-                    cancel,
-                    timeout: self.inner.config.default_timeout,
-                    seq,
-                    inner: Arc::clone(&self.inner),
-                })
+                Ok((cancel, seq))
             }
-            Err(_full) => {
+            Err(mut full) => {
+                // The submitter gets the rejection as this call's error;
+                // a callback sink must not fire a second time on drop.
+                full.0.reply.defuse();
+                drop(full);
                 // Rejected after registering → release the prefetched
                 // compile entries this seq owns.
                 if let Some(arena) = &self.inner.arena {
@@ -672,7 +771,7 @@ impl Drop for UpServer {
 }
 
 fn worker_loop(inner: Arc<ServerInner>) {
-    while let Some(job) = inner.queue.pop_blocking() {
+    while let Some(mut job) = inner.queue.pop_blocking() {
         inner.metrics.on_dequeued();
         let wait_s = job.enqueued.elapsed().as_secs_f64();
         inner.metrics.on_queue_wait(wait_s);
@@ -685,7 +784,7 @@ fn worker_loop(inner: Arc<ServerInner>) {
             if let Some(arena) = &inner.arena {
                 arena.on_query_done(job.seq);
             }
-            let _ = job.reply.send(Err(ServerError::Canceled));
+            job.reply.send(Err(ServerError::Canceled));
             continue;
         }
         // The session may have been closed between submit and dequeue
@@ -697,7 +796,7 @@ fn worker_loop(inner: Arc<ServerInner>) {
             if let Some(arena) = &inner.arena {
                 arena.on_query_done(job.seq);
             }
-            let _ = job.reply.send(Err(ServerError::UnknownSession(job.session)));
+            job.reply.send(Err(ServerError::UnknownSession(job.session)));
             continue;
         }
         // Kernel arrival on the simulated device = when the query entered
@@ -751,7 +850,7 @@ fn worker_loop(inner: Arc<ServerInner>) {
             .on_completed(job.enqueued.elapsed().as_secs_f64(), ok);
         // A gone receiver (client timed out and dropped the ticket) is
         // fine — the work is done and accounted either way.
-        let _ = job.reply.send(result.map_err(ServerError::Query));
+        job.reply.send(result.map_err(ServerError::Query));
     }
 }
 
